@@ -1,0 +1,167 @@
+package cronets_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out, plus the
+// paper's Section VII extensions. Run with:
+//
+//	go test -bench=Ablation -benchtime 1x
+//	go test -bench='MultiHop|Placement|Cost|HighBandwidth' -benchtime 1x
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cronets/internal/experiments"
+	"cronets/internal/netsim"
+	"cronets/internal/tcpsim"
+	"cronets/internal/topology"
+)
+
+// BenchmarkMultiHopOverlay runs the Section VII-B study: does a second
+// overlay hop (and a third TCP split) help beyond the paper's one-hop
+// design?
+func BenchmarkMultiHopOverlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res := runControlled(b, s)
+		mh, err := s.RunMultiHop(res, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mh.FracTwoHopBetter()*100, "twohop_better_%")
+		b.ReportMetric(mh.MedianTwoHopGain(), "median_2hop_over_1hop")
+	}
+}
+
+// BenchmarkPlacementGreedy runs the Section VII-A node-selection study.
+func BenchmarkPlacementGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res := runControlled(b, s)
+		pl, err := experiments.RunPlacement(res, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pl.ObjectiveFrac) >= 2 {
+			b.ReportMetric(pl.ObjectiveFrac[0]*100, "k1_objective_%")
+			b.ReportMetric(pl.ObjectiveFrac[1]*100, "k2_objective_%")
+		}
+	}
+}
+
+// BenchmarkCostComparison runs the Section VII-D cost table; the abstract
+// claims a ~10x saving over comparable leased lines.
+func BenchmarkCostComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res := runControlled(b, s)
+		rows, err := experiments.CostTable(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(rows[0].SavingsFactor, "savings_x_paper~10")
+		}
+	}
+}
+
+// BenchmarkHighBandwidthNodes runs the Section VII-C 1 Gbps-NIC variant.
+func BenchmarkHighBandwidthNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHighBandwidth(benchSeed, experiments.ScaleFull)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Split100.Mean, "split_mean_100mbps_nic")
+		b.ReportMetric(res.Split1000.Mean, "split_mean_1gbps_nic")
+	}
+}
+
+// BenchmarkAblationHotLinks removes the hot (congested) core and regional
+// links — the mechanism DESIGN.md credits for the paper's improvement
+// tail. Without them, the split-overlay mean should collapse toward the
+// pure RTT-halving gain.
+func BenchmarkAblationHotLinks(b *testing.B) {
+	run := func(hot bool) experiments.RatioSummary {
+		cfg := topology.DefaultConfig(benchSeed)
+		if !hot {
+			cfg.CoreHotProb = 0
+			cfg.RegionalHotProb = 0
+		}
+		s, err := experiments.NewSuiteFromTopology(benchSeed, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.RunControlled()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.SplitSummary()
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(true)
+		without := run(false)
+		b.ReportMetric(with.Mean, "split_mean_with_hot")
+		b.ReportMetric(without.Mean, "split_mean_no_hot")
+	}
+}
+
+// BenchmarkAblationSplitVsTunnel isolates the split-TCP mechanism on a
+// controlled two-segment path: one loop over the whole detour vs one loop
+// per segment. The ratio is the paper's Section II Mathis argument in
+// isolation.
+func BenchmarkAblationSplitVsTunnel(b *testing.B) {
+	seg := tcpsim.StaticPath(netsim.Metrics{
+		BaseRTT:        100 * time.Millisecond,
+		LossRate:       2e-4,
+		BottleneckMbps: 1000,
+		AvailableMbps:  1000,
+		Hops:           5,
+	})
+	whole := tcpsim.ConcatPath(seg, seg, 0)
+	spec := tcpsim.Spec{Duration: 30 * time.Second}
+	for i := 0; i < b.N; i++ {
+		tunnel, err := tcpsim.Run(rand.New(rand.NewSource(1)), whole, tcpsim.DefaultConfig(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, err := tcpsim.RunSplit(rand.New(rand.NewSource(1)), seg, seg,
+			tcpsim.DefaultSplitConfig(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tunnel.ThroughputMbps, "tunnel_mbps")
+		b.ReportMetric(split.ThroughputMbps, "split_mbps")
+		b.ReportMetric(split.ThroughputMbps/tunnel.ThroughputMbps, "split_gain_x")
+	}
+}
+
+// BenchmarkAblationReceiveWindow removes the receive-window cap DESIGN.md
+// marks as load-bearing: without it, plain tunnels stop losing to the RTT
+// detour and the plain-vs-split gap narrows.
+func BenchmarkAblationReceiveWindow(b *testing.B) {
+	seg := tcpsim.StaticPath(netsim.Metrics{
+		BaseRTT:        120 * time.Millisecond,
+		LossRate:       1e-5,
+		BottleneckMbps: 100,
+		AvailableMbps:  100,
+		Hops:           5,
+	})
+	whole := tcpsim.ConcatPath(seg, seg, 0)
+	spec := tcpsim.Spec{Duration: 30 * time.Second}
+	for i := 0; i < b.N; i++ {
+		capped := tcpsim.DefaultConfig()
+		uncapped := tcpsim.DefaultConfig()
+		uncapped.MaxCwnd = 1 << 18
+		withCap, err := tcpsim.Run(rand.New(rand.NewSource(2)), whole, capped, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noCap, err := tcpsim.Run(rand.New(rand.NewSource(2)), whole, uncapped, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(withCap.ThroughputMbps, "tunnel_mbps_rwnd_capped")
+		b.ReportMetric(noCap.ThroughputMbps, "tunnel_mbps_uncapped")
+	}
+}

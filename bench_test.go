@@ -1,0 +1,251 @@
+package cronets_test
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation. Each benchmark runs the corresponding experiment at
+// the paper's scale and reports the headline statistics as custom metrics
+// next to the paper's values (encoded in the metric names as _paperNNN
+// where useful). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same runners back cmd/cronets-bench, which prints full rows/series.
+
+import (
+	"testing"
+
+	"cronets/internal/experiments"
+)
+
+const benchSeed = 42
+
+func newSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.NewSuite(benchSeed, experiments.ScaleFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func runControlled(b *testing.B, s *experiments.Suite) experiments.PrevalenceResult {
+	b.Helper()
+	res, err := s.RunControlled()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig2PrevalenceCDF regenerates Figure 2: 6,600 paths of the
+// real-life web-server experiment (paper: plain improves 49% with avg
+// 1.29; split improves 78% with avg 3.27 and median 1.67).
+func BenchmarkFig2PrevalenceCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res, err := s.RunRealLife()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, split := res.PlainSummary(), res.SplitSummary()
+		b.ReportMetric(float64(res.PathsSampled), "paths")
+		b.ReportMetric(plain.FracImproved*100, "plain_improved_%_paper49")
+		b.ReportMetric(split.FracImproved*100, "split_improved_%_paper78")
+		b.ReportMetric(split.Median, "split_median_paper1.67")
+	}
+}
+
+// BenchmarkFig3ControlledCDF regenerates Figure 3: 1,250 controlled-sender
+// paths (paper: plain 45% avg 6.53; split 74% avg 9.26 median 1.66;
+// discrete 76% avg 8.14 median 1.74).
+func BenchmarkFig3ControlledCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res := runControlled(b, s)
+		plain, split, disc := res.PlainSummary(), res.SplitSummary(), res.DiscreteSummary()
+		b.ReportMetric(plain.FracImproved*100, "plain_improved_%_paper45")
+		b.ReportMetric(split.FracImproved*100, "split_improved_%_paper74")
+		b.ReportMetric(split.Median, "split_median_paper1.66")
+		b.ReportMetric(disc.Median, "discrete_median_paper1.74")
+	}
+}
+
+// BenchmarkFig4RetransmissionCDF regenerates Figure 4 (paper: median retx
+// 2.69e-4 direct vs 1.66e-5 best overlay).
+func BenchmarkFig4RetransmissionCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r := experiments.RetransFrom(runControlled(b, s))
+		b.ReportMetric(r.MedianDirect()*1e4, "direct_retx_1e-4_paper2.69")
+		b.ReportMetric(r.MedianOverlay()*1e4, "overlay_retx_1e-4_paper0.166")
+	}
+}
+
+// BenchmarkFig5RTTRatioCDF regenerates Figure 5 (paper: overlay reduces
+// average RTT for 52% of pairs; 90% of >=150 ms pairs).
+func BenchmarkFig5RTTRatioCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r := experiments.RTTRatiosFrom(runControlled(b, s))
+		b.ReportMetric(r.FracReduced()*100, "rtt_reduced_%_paper52")
+		b.ReportMetric(r.FracReducedAboveRTT(150)*100, "rtt_reduced_150ms_%_paper90")
+	}
+}
+
+// BenchmarkFig6Longitudinal regenerates Figure 6: the top-30 paths sampled
+// 50 times over a week (paper: 90% keep their gains; avg ratio 8.39,
+// median 7.58).
+func BenchmarkFig6Longitudinal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res, err := s.RunLongitudinal(runControlled(b, s), experiments.DefaultLongitudinalConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean, median := res.ImprovementStats()
+		b.ReportMetric(res.FracImproved()*100, "improved_%_paper90")
+		b.ReportMetric(mean, "avg_ratio_paper8.39")
+		b.ReportMetric(median, "median_ratio_paper7.58")
+	}
+}
+
+// BenchmarkFig7MinOverlayNodes regenerates Figure 7 (paper: 70% of paths
+// need at most two overlay nodes).
+func BenchmarkFig7MinOverlayNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res, err := s.RunLongitudinal(runControlled(b, s), experiments.DefaultLongitudinalConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FracNeedingAtMost(1)*100, "need_le1_%")
+		b.ReportMetric(res.FracNeedingAtMost(2)*100, "need_le2_%_paper70")
+	}
+}
+
+// BenchmarkTable1NodeCount regenerates Table I (paper: mean factors 8.19,
+// 8.36, 8.38, 8.39 for 1-4 overlay nodes — saturating by two).
+func BenchmarkTable1NodeCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res, err := s.RunLongitudinal(runControlled(b, s), experiments.DefaultLongitudinalConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.NodeCountRows {
+			switch row.Nodes {
+			case 1:
+				b.ReportMetric(row.MeanFactor, "k1_mean_paper8.19")
+			case 2:
+				b.ReportMetric(row.MeanFactor, "k2_mean_paper8.36")
+			case 4:
+				b.ReportMetric(row.MeanFactor, "k4_mean_paper8.39")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Diversity regenerates Figure 8 and the Section V-A/V-B
+// traceroute statistics (paper: 60% of overlay paths score >= 0.38; 87% of
+// common routers in the end segments; 96% of well-improved overlay paths
+// have more hops).
+func BenchmarkFig8Diversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		d := s.Diversity(runControlled(b, s))
+		b.ReportMetric(d.FracScoreAtLeast(experiments.ClassAll, 0.38)*100, "score_ge0.38_%_paper60")
+		b.ReportMetric(d.EndFraction()*100, "end_common_%_paper87")
+		longer, _ := d.FracLonger()
+		b.ReportMetric(longer*100, "longer_hops_%_paper96")
+	}
+}
+
+// BenchmarkFig9RTTBins regenerates Figure 9 (paper: median improvement
+// >2x for >=140 ms RTT, >3x for >=280 ms).
+func BenchmarkFig9RTTBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		rows := experiments.RTTBins(runControlled(b, s))
+		for _, row := range rows {
+			switch row.Label {
+			case "[140,210)":
+				b.ReportMetric(row.MedianRatio, "median_140ms_paper>2")
+			case "[280,inf)":
+				b.ReportMetric(row.MedianRatio, "median_280ms_paper>3")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10LossBins regenerates Figure 10 (paper: >=86% of paths with
+// >=0.25% loss improve).
+func BenchmarkFig10LossBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		rows := experiments.LossBins(runControlled(b, s))
+		if len(rows) == 4 {
+			b.ReportMetric(rows[2].FracImproved*100, "improved_0.25-0.5%_paper86")
+			b.ReportMetric(rows[3].FracImproved*100, "improved_ge0.5%_paper86")
+		}
+	}
+}
+
+// BenchmarkFig11Scatter regenerates Figure 11 (paper: almost all sub-10
+// Mbps direct paths improve; the majority more than double).
+func BenchmarkFig11Scatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		sum := experiments.SummarizeScatter(experiments.Scatter(runControlled(b, s)))
+		b.ReportMetric(sum.FracSlowImproved*100, "slow_improved_%_paper~100")
+		b.ReportMetric(sum.FracSlowDoubled*100, "slow_doubled_%_paper>50")
+	}
+}
+
+// BenchmarkC45Thresholds regenerates the Section V-B decision-tree
+// analysis (paper: loss reduction >= 12.1% and RTT reduction >= 10.5%
+// imply a high likelihood of throughput gain).
+func BenchmarkC45Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		res, err := experiments.C45Thresholds(runControlled(b, s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LossReductionPct, "loss_threshold_%_paper12.1")
+		b.ReportMetric(res.RTTChangeMaxPct, "rtt_change_max_%_paper-10.5")
+		b.ReportMetric(res.Accuracy*100, "accuracy_%")
+	}
+}
+
+// BenchmarkFig12MPTCPOlia regenerates Figure 12 (paper: coupled MPTCP
+// reliably achieves the maximum observed overlay throughput).
+func BenchmarkFig12MPTCPOlia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewMPTCPSuite(benchSeed, experiments.ScaleFull)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.RunMPTCP(experiments.DefaultMPTCPConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PairsMeasured), "pairs_paper72")
+		b.ReportMetric(res.FracMPTCPAtLeastBestOverlay(0.1)*100, "mptcp_ge_best_%")
+		b.ReportMetric(res.MeanMPTCP(), "mptcp_mean_mbps")
+	}
+}
+
+// BenchmarkFig13MPTCPCubic regenerates Figure 13 (paper: uncoupled
+// per-subflow CUBIC saturates the 100 Mbps NIC).
+func BenchmarkFig13MPTCPCubic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewMPTCPSuite(benchSeed, experiments.ScaleFull)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.RunMPTCP(experiments.UncoupledMPTCPConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanMPTCP(), "mptcp_mean_mbps_paper~100")
+	}
+}

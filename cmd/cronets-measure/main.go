@@ -1,0 +1,137 @@
+// Command cronets-measure is an iperf-style measurement tool for the
+// real-socket overlay stack: run a server at one site, then measure
+// throughput and RTT from another — directly, or through a cronetsd relay
+// to compare the direct and overlay paths.
+//
+// Usage:
+//
+//	cronets-measure server -listen :9100
+//	cronets-measure client -connect host:9100 [-duration 10s]
+//	cronets-measure client -connect host:9100 -relay relayhost:9000
+//	cronets-measure rtt    -connect host:9100 [-relay relayhost:9000] [-count 10]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"cronets/internal/measure"
+	"cronets/internal/relay"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "server":
+		err = runServer(os.Args[2:])
+	case "client":
+		err = runClient(os.Args[2:])
+	case "rtt":
+		err = runRTT(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cronets-measure:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cronets-measure server -listen ADDR
+  cronets-measure client -connect ADDR [-relay ADDR] [-duration D]
+  cronets-measure rtt    -connect ADDR [-relay ADDR] [-count N]`)
+}
+
+func runServer(args []string) error {
+	fs := flag.NewFlagSet("server", flag.ExitOnError)
+	listen := fs.String("listen", ":9100", "address to listen on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	srv := measure.NewServer(ln)
+	log.Printf("measurement server on %s", srv.Addr())
+	return srv.Serve()
+}
+
+func dialMaybeRelay(connect, relayAddr string, timeout time.Duration) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if relayAddr == "" {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", connect)
+	}
+	return relay.DialVia(ctx, nil, relayAddr, connect)
+}
+
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	connect := fs.String("connect", "", "measurement server address")
+	relayAddr := fs.String("relay", "", "optional cronetsd relay to go through")
+	duration := fs.Duration("duration", 10*time.Second, "measurement duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("-connect is required")
+	}
+	conn, err := dialMaybeRelay(*connect, *relayAddr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := measure.SinkClient(conn); err != nil {
+		return err
+	}
+	res, err := measure.Throughput(conn, *duration, 0)
+	if err != nil {
+		return err
+	}
+	via := "direct"
+	if *relayAddr != "" {
+		via = "via relay " + *relayAddr
+	}
+	fmt.Printf("%s: %.2f Mbps (%d bytes in %v)\n", via, res.Mbps, res.Bytes, res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func runRTT(args []string) error {
+	fs := flag.NewFlagSet("rtt", flag.ExitOnError)
+	connect := fs.String("connect", "", "measurement server address")
+	relayAddr := fs.String("relay", "", "optional cronetsd relay to go through")
+	count := fs.Int("count", 10, "number of probes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("-connect is required")
+	}
+	conn, err := dialMaybeRelay(*connect, *relayAddr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stats, err := measure.ProbeRTT(conn, *count)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rtt min/avg/max = %v / %v / %v over %d probes\n",
+		stats.Min.Round(time.Microsecond), stats.Avg.Round(time.Microsecond),
+		stats.Max.Round(time.Microsecond), stats.Samples)
+	return nil
+}

@@ -1,0 +1,197 @@
+// Command cronets-topo inspects the generated Internet topologies the
+// experiments run on: AS inventory, link statistics, default and overlay
+// routes between named hosts, and traceroutes.
+//
+// Usage:
+//
+//	cronets-topo -seed 42 summary
+//	cronets-topo -seed 42 hosts
+//	cronets-topo -seed 42 route -from server-Toronto-0 -to client-Paris-3
+//	cronets-topo -seed 42 overlay -from server-Toronto-0 -to client-Paris-3 -via Amsterdam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cronets/internal/netsim"
+	"cronets/internal/topology"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "topology seed")
+	clients := flag.Int("clients", 110, "number of client stubs")
+	servers := flag.Int("servers", 10, "number of server stubs")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "summary"
+	}
+	// Per-command flags follow the command word.
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	from := sub.String("from", "", "source host name (route/overlay)")
+	to := sub.String("to", "", "destination host name (route/overlay)")
+	via := sub.String("via", "", "overlay DC city (overlay)")
+	if err := sub.Parse(flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cronets-topo:", err)
+		os.Exit(2)
+	}
+	if err := run(cmd, *seed, *clients, *servers, *from, *to, *via); err != nil {
+		fmt.Fprintln(os.Stderr, "cronets-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, seed int64, clients, servers int, from, to, via string) error {
+	cfg := topology.DefaultConfig(seed)
+	cfg.ClientStubs = clients
+	cfg.ServerStubs = servers
+	in, err := topology.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "summary":
+		return summary(in)
+	case "hosts":
+		return hosts(in)
+	case "route":
+		return route(in, from, to)
+	case "overlay":
+		return overlay(in, from, to, via)
+	default:
+		return fmt.Errorf("unknown command %q (summary, hosts, route, overlay)", cmd)
+	}
+}
+
+func summary(in *topology.Internet) error {
+	tiers := map[topology.Tier]int{}
+	routers := map[topology.Tier]int{}
+	for _, a := range in.ASes {
+		tiers[a.Tier]++
+		routers[a.Tier] += len(a.Routers)
+	}
+	fmt.Printf("nodes: %d   links: %d   ASes: %d\n", in.Net.NumNodes(), in.Net.NumLinks(), len(in.ASes))
+	for _, t := range []topology.Tier{topology.Tier1, topology.Tier2, topology.TierStub, topology.TierCloud} {
+		fmt.Printf("  %-6v ASes: %-4d routers: %d\n", t, tiers[t], routers[t])
+	}
+	fmt.Printf("data centers: %v\n", in.DCOrder)
+
+	// Link quality distribution.
+	var hot, total int
+	var lossSum float64
+	for _, l := range in.Net.Links() {
+		total++
+		lossSum += l.BaseLossRate
+		if l.UtilizationAt(0) > 0.7 {
+			hot++
+		}
+	}
+	fmt.Printf("links above 70%% utilization: %d of %d (%.1f%%); mean base loss %.2g\n",
+		hot, total, float64(hot)/float64(total)*100, lossSum/float64(total))
+	return nil
+}
+
+func hosts(in *topology.Internet) error {
+	fmt.Println("servers:")
+	for _, h := range in.Servers {
+		fmt.Printf("  %-28s AS%-4d %s\n", h.Name, h.ASN, h.Loc)
+	}
+	fmt.Println("clients:")
+	names := make([]string, 0, len(in.Clients))
+	byName := make(map[string]topology.Host, len(in.Clients))
+	for _, h := range in.Clients {
+		names = append(names, h.Name)
+		byName[h.Name] = h
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := byName[n]
+		fmt.Printf("  %-28s AS%-4d %s\n", h.Name, h.ASN, h.Loc)
+	}
+	return nil
+}
+
+func findHost(in *topology.Internet, name string) (topology.Host, error) {
+	for _, h := range in.Servers {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	for _, h := range in.Clients {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	for _, h := range in.DCs {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	return topology.Host{}, fmt.Errorf("no host %q (see `cronets-topo hosts`)", name)
+}
+
+func route(in *topology.Internet, from, to string) error {
+	src, err := findHost(in, from)
+	if err != nil {
+		return err
+	}
+	dst, err := findHost(in, to)
+	if err != nil {
+		return err
+	}
+	p, err := in.RouterPath(src, dst)
+	if err != nil {
+		return err
+	}
+	return printPath(in, "default route", p)
+}
+
+func overlay(in *topology.Internet, from, to, via string) error {
+	if via == "" {
+		return fmt.Errorf("-via DC city is required (one of %v)", in.DCOrder)
+	}
+	src, err := findHost(in, from)
+	if err != nil {
+		return err
+	}
+	dst, err := findHost(in, to)
+	if err != nil {
+		return err
+	}
+	r, err := in.OverlayRoute(src, dst, via)
+	if err != nil {
+		return err
+	}
+	full, err := r.FullPath()
+	if err != nil {
+		return err
+	}
+	return printPath(in, "overlay route via "+via, full)
+}
+
+func printPath(in *topology.Internet, title string, p netsim.Path) error {
+	m, err := in.Net.PathMetrics(p, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d hops, base RTT %v, queueing %v, loss %.2g, available %.0f Mbps\n",
+		title, m.Hops, m.BaseRTT.Round(time.Millisecond), m.QueueDelayRTT.Round(time.Millisecond),
+		m.LossRate, m.AvailableMbps)
+	for i, id := range p.Nodes {
+		n := in.Net.MustNode(id)
+		line := fmt.Sprintf("  %2d  %-34s", i, n.Name)
+		if i > 0 {
+			if l, ok := in.Net.Link(p.Nodes[i-1], id); ok {
+				line += fmt.Sprintf(" delay=%-8v util=%.2f loss=%.1e",
+					l.Delay.Round(100*time.Microsecond), l.UtilizationAt(0), l.LossRateAt(0))
+			}
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

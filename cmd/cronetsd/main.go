@@ -1,0 +1,81 @@
+// Command cronetsd runs a CRONets overlay relay node over real sockets:
+// either a fixed-target forwarder (one branch office pinned to another) or
+// a CONNECT-mode split-TCP proxy that terminates the client's connection
+// and opens its own toward the requested destination.
+//
+// Usage:
+//
+//	cronetsd -listen :9000                      # CONNECT-mode split proxy
+//	cronetsd -listen :9000 -target 10.0.0.2:443 # fixed-target forwarder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cronets/internal/relay"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":9000", "address to listen on")
+		target  = flag.String("target", "", "fixed forward target (empty = CONNECT mode)")
+		idle    = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
+		maxConn = flag.Int("max-conns", 1024, "maximum concurrent relayed connections")
+		bufKB   = flag.Int("buffer-kb", 256, "relay buffer per direction in KiB")
+		allow   = flag.String("allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
+	)
+	flag.Parse()
+	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow); err != nil {
+		fmt.Fprintln(os.Stderr, "cronetsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow string) error {
+	var acl *relay.ACL
+	if allow != "" {
+		var err error
+		acl, err = relay.NewACL(strings.Split(allow, ","), nil)
+		if err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", listen, err)
+	}
+	r := relay.New(ln, relay.Config{
+		Target:      target,
+		IdleTimeout: idle,
+		MaxConns:    maxConn,
+		BufferBytes: bufKB << 10,
+		ACL:         acl,
+	})
+	mode := "split proxy (CONNECT mode)"
+	if target != "" {
+		mode = "forwarder -> " + target
+	}
+	log.Printf("cronetsd listening on %s as %s", r.Addr(), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- r.Serve() }()
+
+	select {
+	case <-sig:
+		log.Printf("cronetsd shutting down: accepted=%d relayed up/down = %d/%d bytes",
+			r.Stats().Accepted.Load(), r.Stats().BytesUp.Load(), r.Stats().BytesDown.Load())
+		return r.Close()
+	case err := <-done:
+		return err
+	}
+}

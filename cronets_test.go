@@ -1,0 +1,51 @@
+package cronets_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cronets"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	topo := cronets.DefaultTopology(42)
+	topo.ClientStubs = 6
+	topo.ServerStubs = 2
+	in, err := cronets.GenerateInternet(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := cronets.New(in, cronets.DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	pr, err := cn.MeasurePair(rng, in.Servers[0], in.Clients[0], cn.DCCities(),
+		cronets.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Direct.ThroughputMbps <= 0 {
+		t.Error("no direct throughput")
+	}
+	if _, ok := pr.BestOverlay(cronets.SplitOverlay); !ok {
+		t.Error("no split overlay measurement")
+	}
+	res, err := cronets.MeasureMPTCP(cn, rng, in.Servers[0], in.Clients[0], cn.DCCities(),
+		cronets.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbps <= 0 {
+		t.Error("no MPTCP throughput")
+	}
+}
+
+func TestFacadeConstantsMatch(t *testing.T) {
+	if cronets.Direct.String() != "direct" || cronets.SplitOverlay.String() != "split-overlay" {
+		t.Error("path-kind re-exports broken")
+	}
+	if cronets.OLIA.String() != "olia" || cronets.Uncoupled.String() != "uncoupled" {
+		t.Error("coupling re-exports broken")
+	}
+}

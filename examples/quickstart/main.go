@@ -1,0 +1,56 @@
+// Quickstart: build a small simulated CRONet, measure one pair over the
+// direct path and through every cloud data center, and print the paper's
+// four configurations side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cronets"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A reduced topology keeps the example fast; see
+	// cronets.DefaultTopology for the paper-scale configuration.
+	topo := cronets.DefaultTopology(7)
+	topo.ClientStubs = 12
+	topo.ServerStubs = 3
+	in, err := cronets.GenerateInternet(topo)
+	if err != nil {
+		return err
+	}
+	cn := cronets.New(in, cronets.DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	spec := cronets.Spec{Duration: 30 * time.Second}
+
+	fmt.Println("CRONets quickstart: direct vs overlay measurements")
+	fmt.Println()
+	for i := 0; i < 4; i++ {
+		src := in.Servers[i%len(in.Servers)]
+		dst := in.Clients[i]
+		pr, err := cn.MeasurePair(rng, src, dst, cn.DCCities(), spec, 0)
+		if err != nil {
+			return err
+		}
+		plain, _ := pr.BestOverlay(cronets.Overlay)
+		split, _ := pr.BestOverlay(cronets.SplitOverlay)
+		disc, _ := pr.BestOverlay(cronets.DiscreteOverlay)
+		fmt.Printf("%s -> %s\n", src.Name, dst.Name)
+		fmt.Printf("  direct:        %6.1f Mbps  (rtt %v, retx %.2g)\n",
+			pr.Direct.ThroughputMbps, pr.Direct.AvgRTT.Round(time.Millisecond), pr.Direct.RetransRate)
+		fmt.Printf("  best overlay:  %6.1f Mbps  via %s\n", plain.ThroughputMbps, plain.DC)
+		fmt.Printf("  best split:    %6.1f Mbps  via %s\n", split.ThroughputMbps, split.DC)
+		fmt.Printf("  discrete bound:%6.1f Mbps  via %s\n", disc.ThroughputMbps, disc.DC)
+		fmt.Printf("  split improvement: %.2fx\n\n", split.ThroughputMbps/pr.Direct.ThroughputMbps)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module cronets
+
+go 1.23

@@ -1,0 +1,228 @@
+package c45
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// axisData builds a linearly separable one-attribute data set split at
+// threshold.
+func axisData(n int, threshold float64, rng *rand.Rand) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*2 - 1
+		label := "neg"
+		if x > threshold {
+			label = "pos"
+		}
+		out = append(out, Sample{Attrs: []float64{x}, Label: label})
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, []string{"x"}, DefaultConfig()); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	bad := []Sample{{Attrs: []float64{1, 2}, Label: "a"}}
+	if _, err := Train(bad, []string{"x"}, DefaultConfig()); err == nil {
+		t.Error("expected attr-count mismatch error")
+	}
+}
+
+func TestSeparableRecoversThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := axisData(400, 0.25, rng)
+	tree, err := Train(data, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tree.Accuracy(data); acc < 0.99 {
+		t.Errorf("training accuracy = %v on separable data", acc)
+	}
+	// The root split should sit near 0.25.
+	rules := tree.Rules()
+	found := false
+	for _, r := range rules {
+		for _, c := range r.Conds {
+			var name string
+			var thr float64
+			if _, err := parseCond(c, &name, &thr); err == nil && name == "x" {
+				if math.Abs(thr-0.25) < 0.1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no rule near the true threshold; rules: %v", rules)
+	}
+}
+
+func parseCond(cond string, name *string, thr *float64) (int, error) {
+	if strings.Contains(cond, "<=") {
+		return fmt.Sscanf(cond, "%s <= %g", name, thr)
+	}
+	return fmt.Sscanf(cond, "%s > %g", name, thr)
+}
+
+func TestTwoAttributeConjunction(t *testing.T) {
+	// Label "yes" iff x <= -0.1 AND y <= -0.2: the paper's simultaneous
+	// RTT+loss reduction structure.
+	rng := rand.New(rand.NewSource(2))
+	var data []Sample
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*2 - 1
+		y := rng.Float64()*2 - 1
+		label := "no"
+		if x <= -0.1 && y <= -0.2 {
+			label = "yes"
+		}
+		data = append(data, Sample{Attrs: []float64{x, y}, Label: label})
+	}
+	tree, err := Train(data, []string{"x", "y"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tree.Accuracy(data); acc < 0.97 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	// The highest-support "yes" rule should bound both attributes below
+	// negative thresholds.
+	for _, r := range tree.Rules() {
+		if r.Label != "yes" {
+			continue
+		}
+		hasX, hasY := false, false
+		for _, c := range r.Conds {
+			if strings.HasPrefix(c, "x <= -") {
+				hasX = true
+			}
+			if strings.HasPrefix(c, "y <= -") {
+				hasY = true
+			}
+		}
+		if !hasX || !hasY {
+			t.Errorf("yes-rule misses a bound: %v", r)
+		}
+		break
+	}
+}
+
+func TestClassifyUnseen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := axisData(300, 0.0, rng)
+	tree, err := Train(train, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := axisData(300, 0.0, rng)
+	if acc := tree.Accuracy(test); acc < 0.95 {
+		t.Errorf("held-out accuracy = %v", acc)
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	tree, err := Train(axisData(50, 0, rand.New(rand.NewSource(1))), []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Classify([]float64{1, 2}); err == nil {
+		t.Error("expected attr-count error")
+	}
+}
+
+func TestSingleClassIsLeaf(t *testing.T) {
+	data := []Sample{
+		{Attrs: []float64{1}, Label: "a"},
+		{Attrs: []float64{2}, Label: "a"},
+		{Attrs: []float64{3}, Label: "a"},
+	}
+	tree, err := Train(data, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 || tree.Leaves() != 1 {
+		t.Errorf("pure data should yield a single leaf: depth=%d leaves=%d", tree.Depth(), tree.Leaves())
+	}
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Pure noise: labels independent of the attribute.
+	var data []Sample
+	for i := 0; i < 300; i++ {
+		label := "a"
+		if rng.Intn(2) == 0 {
+			label = "b"
+		}
+		data = append(data, Sample{Attrs: []float64{rng.Float64()}, Label: label})
+	}
+	pruned, err := Train(data, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Prune = false
+	unpruned, err := Train(data, []string{"x"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves() > unpruned.Leaves() {
+		t.Errorf("pruning grew the tree: %d -> %d leaves", unpruned.Leaves(), pruned.Leaves())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 3
+	cfg.Prune = false
+	var data []Sample
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		label := "a"
+		if int(x*16)%2 == 0 { // needs depth > 3 to separate fully
+			label = "b"
+		}
+		data = append(data, Sample{Attrs: []float64{x}, Label: label})
+	}
+	tree, err := Train(data, []string{"x"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 4 { // depth counts leaves; 3 splits -> depth 4
+		t.Errorf("depth = %d exceeds configured max", tree.Depth())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Conds: []string{"x <= 1", "y > 2"}, Label: "pos", Support: 7}
+	want := "x <= 1 AND y > 2 => pos (n=7)"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	empty := Rule{Label: "pos", Support: 3}
+	if got := empty.String(); got != "true => pos (n=3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0}, {0.975, 1.96}, {0.025, -1.96}, {0.75, 0.674},
+	}
+	for _, tt := range tests {
+		if got := normalQuantile(tt.p); math.Abs(got-tt.want) > 0.01 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("quantile at bounds should be infinite")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cronets/internal/mptcpsim"
+	"cronets/internal/tcpsim"
+	"cronets/internal/topology"
+)
+
+func testNet(t *testing.T) (*topology.Internet, *CRONet) {
+	t.Helper()
+	cfg := topology.DefaultConfig(42)
+	cfg.ClientStubs = 8
+	cfg.ServerStubs = 3
+	in, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return in, New(in, DefaultConfig())
+}
+
+func TestPathKindString(t *testing.T) {
+	tests := []struct {
+		k    PathKind
+		want string
+	}{
+		{Direct, "direct"}, {Overlay, "overlay"},
+		{SplitOverlay, "split-overlay"}, {DiscreteOverlay, "discrete-overlay"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMeasureDirect(t *testing.T) {
+	in, cn := testNet(t)
+	rng := rand.New(rand.NewSource(1))
+	m, path, err := cn.MeasureDirect(rng, in.Servers[0], in.Clients[0],
+		tcpsim.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != Direct {
+		t.Errorf("kind = %v", m.Kind)
+	}
+	if m.ThroughputMbps <= 0 || m.AvgRTT <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if len(path.Nodes) < 3 {
+		t.Errorf("path too short: %v", path.Nodes)
+	}
+}
+
+func TestMeasureOverlayAllKinds(t *testing.T) {
+	in, cn := testNet(t)
+	rng := rand.New(rand.NewSource(1))
+	om, err := cn.MeasureOverlay(rng, in.Servers[0], in.Clients[0], in.DCOrder[0],
+		tcpsim.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om.Plain.Kind != Overlay || om.Split.Kind != SplitOverlay || om.Discrete.Kind != DiscreteOverlay {
+		t.Error("kinds wrong")
+	}
+	for _, m := range []Measurement{om.Plain, om.Split, om.Discrete} {
+		if m.ThroughputMbps <= 0 {
+			t.Errorf("%v throughput = %v", m.Kind, m.ThroughputMbps)
+		}
+		if m.DC != in.DCOrder[0] {
+			t.Errorf("%v DC = %q", m.Kind, m.DC)
+		}
+	}
+	if _, err := cn.MeasureOverlay(rng, in.Servers[0], in.Clients[0], "Gotham",
+		tcpsim.Spec{Duration: time.Second}, 0); err == nil {
+		t.Error("expected error for unknown DC")
+	}
+}
+
+func TestMeasurePair(t *testing.T) {
+	in, cn := testNet(t)
+	rng := rand.New(rand.NewSource(1))
+	pr, err := cn.MeasurePair(rng, in.Servers[0], in.Clients[1], cn.DCCities(),
+		tcpsim.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Overlays) != len(in.DCOrder) {
+		t.Fatalf("overlays = %d", len(pr.Overlays))
+	}
+	best, ok := pr.BestOverlay(SplitOverlay)
+	if !ok {
+		t.Fatal("no best overlay")
+	}
+	for _, o := range pr.Overlays {
+		if o.Split.ThroughputMbps > best.ThroughputMbps {
+			t.Error("BestOverlay did not return the max")
+		}
+	}
+	if retx, ok := pr.MinOverlayRetrans(); !ok || retx < 0 {
+		t.Errorf("MinOverlayRetrans = %v, %v", retx, ok)
+	}
+	if rtt, ok := pr.MinOverlayRTT(); !ok || rtt <= 0 {
+		t.Errorf("MinOverlayRTT = %v, %v", rtt, ok)
+	}
+}
+
+func TestBestOverlayEmpty(t *testing.T) {
+	var pr PairResult
+	if _, ok := pr.BestOverlay(Overlay); ok {
+		t.Error("empty result should report no overlay")
+	}
+	if _, ok := pr.MinOverlayRetrans(); ok {
+		t.Error("empty result should report no retrans")
+	}
+	if _, ok := pr.MinOverlayRTT(); ok {
+		t.Error("empty result should report no RTT")
+	}
+}
+
+func TestMeasurementDeterminism(t *testing.T) {
+	in, cn := testNet(t)
+	spec := tcpsim.Spec{Duration: 10 * time.Second}
+	a, _, err := cn.MeasureDirect(rand.New(rand.NewSource(5)), in.Servers[0], in.Clients[0], spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := cn.MeasureDirect(rand.New(rand.NewSource(5)), in.Servers[0], in.Clients[0], spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputMbps != b.ThroughputMbps || a.AvgRTT != b.AvgRTT {
+		t.Error("same seed produced different measurements")
+	}
+}
+
+func TestMeasureMPTCP(t *testing.T) {
+	in, cn := testNet(t)
+	rng := rand.New(rand.NewSource(1))
+	src := in.DCs[in.DCOrder[0]]
+	dst := in.DCs[in.DCOrder[1]]
+	overlays := in.DCOrder[2:]
+	res, err := cn.MeasureMPTCP(rng, src, dst, overlays,
+		mptcpsim.OLIA, tcpsim.Reno, 100, tcpsim.Spec{Duration: 20 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbps <= 0 {
+		t.Errorf("total = %v", res.TotalMbps)
+	}
+	if len(res.SubflowMbps) != 1+len(overlays) {
+		t.Errorf("subflows = %d, want %d", len(res.SubflowMbps), 1+len(overlays))
+	}
+	if res.TotalMbps > 101 {
+		t.Errorf("total %v exceeds the NIC", res.TotalMbps)
+	}
+
+	// The direct path must carry at least some traffic between DCs.
+	direct, _, err := cn.MeasureDirect(rng, src, dst, tcpsim.Spec{Duration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMbps < direct.ThroughputMbps*0.5 {
+		t.Errorf("MPTCP %v far below single-path direct %v", res.TotalMbps, direct.ThroughputMbps)
+	}
+}
+
+// TestTunnelMSSPenalty: the plain overlay's effective MSS shrinks by the
+// encapsulation header; a zero-header config must not.
+func TestTunnelHeaderApplied(t *testing.T) {
+	in, _ := testNet(t)
+	cfg := DefaultConfig()
+	cfg.TunnelHeaderBytes = 0
+	cfg.RelayLossRate = 0
+	cnNoHeader := New(in, cfg)
+	rng := rand.New(rand.NewSource(9))
+	spec := tcpsim.Spec{Duration: 10 * time.Second}
+	a, err := cnNoHeader.MeasureOverlay(rng, in.Servers[0], in.Clients[0], in.DCOrder[0], spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultConfig()
+	cfg2.TunnelHeaderBytes = 400 // exaggerated to make the effect visible
+	cfg2.RelayLossRate = 0
+	cnBigHeader := New(in, cfg2)
+	b, err := cnBigHeader.MeasureOverlay(rand.New(rand.NewSource(9)), in.Servers[0], in.Clients[0], in.DCOrder[0], spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Plain.ThroughputMbps >= a.Plain.ThroughputMbps {
+		t.Errorf("big tunnel header did not reduce plain throughput: %v vs %v",
+			b.Plain.ThroughputMbps, a.Plain.ThroughputMbps)
+	}
+}

@@ -1,0 +1,215 @@
+// Package cost implements the deployment cost analysis the paper sketches
+// in Section VII-D and quantifies in its abstract ("at a tenth of the cost
+// of leasing private lines of comparable performance"): the monthly price
+// of running a CRONet — virtual or bare-metal overlay nodes, traffic
+// volume tiers, and port speeds — compared with leased private lines
+// (MPLS) between the same sites.
+//
+// Prices are modeled on the public 2015-era rate cards the paper cites:
+// Softlayer virtual servers from ~$20-25/month with a 100 Mbps port, and
+// MPLS circuits at hundreds to thousands of dollars per Mbps-mile-free
+// site pair per month (Gottlieb 2012, the paper's reference [16]).
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ServerClass is the type of rented overlay node.
+type ServerClass int
+
+// Server classes.
+const (
+	// Virtual is a single-core virtual server (the paper's measurement
+	// fleet).
+	Virtual ServerClass = iota + 1
+	// BareMetal is a dedicated server, for users who want the NIC to
+	// themselves.
+	BareMetal
+)
+
+// String returns the class name.
+func (c ServerClass) String() string {
+	switch c {
+	case Virtual:
+		return "virtual"
+	case BareMetal:
+		return "bare-metal"
+	default:
+		return fmt.Sprintf("ServerClass(%d)", int(c))
+	}
+}
+
+// PortSpeed is the overlay node's network port, in Mbps.
+type PortSpeed int
+
+// Port speeds offered by the provider (the paper's Section VII-C/D list).
+const (
+	Port100Mbps PortSpeed = 100
+	Port1Gbps   PortSpeed = 1000
+	Port10Gbps  PortSpeed = 10000
+)
+
+// NodeSpec describes one overlay node to be priced.
+type NodeSpec struct {
+	Class ServerClass
+	Port  PortSpeed
+	// MonthlyTrafficGB is the expected relayed volume per month. The
+	// paper's tiers: 1000, 5000, 10000, 20000 GB, or unlimited (<= 0).
+	MonthlyTrafficGB int
+}
+
+// Pricing holds the rate card. The zero value is unusable; start from
+// DefaultPricing.
+type Pricing struct {
+	// VirtualBaseUSD and BareMetalBaseUSD are the monthly base prices of a
+	// node with a 100 Mbps port and the smallest bandwidth tier.
+	VirtualBaseUSD   float64
+	BareMetalBaseUSD float64
+	// PortUpchargeUSD maps port speeds to their monthly upcharge.
+	PortUpchargeUSD map[PortSpeed]float64
+	// TrafficTiers lists (sizeGB, monthly USD) bandwidth bundles in
+	// ascending size; traffic beyond the largest tier uses OverageUSDPerGB.
+	TrafficTiers []TrafficTier
+	// UnlimitedTrafficUSD is the flat price of the unmetered option.
+	UnlimitedTrafficUSD float64
+	// OverageUSDPerGB prices traffic beyond a chosen tier.
+	OverageUSDPerGB float64
+
+	// LeasedLineUSDPerMbps is the monthly MPLS price per committed Mbps
+	// (the paper's reference point is roughly $100-300/Mbps/month for
+	// mid-haul circuits; we use the low end to make the comparison
+	// conservative).
+	LeasedLineUSDPerMbps float64
+	// LeasedLineBaseUSD is the per-circuit fixed monthly charge (local
+	// loops, management).
+	LeasedLineBaseUSD float64
+}
+
+// DefaultPricing returns a 2015-era rate card consistent with the paper's
+// claims: a 100 Mbps virtual node from ~$20-25/month; MPLS at ~$100/Mbps
+// plus fixed circuit costs.
+func DefaultPricing() Pricing {
+	return Pricing{
+		VirtualBaseUSD:   25,
+		BareMetalBaseUSD: 200,
+		PortUpchargeUSD: map[PortSpeed]float64{
+			Port100Mbps: 0,
+			Port1Gbps:   100,
+			Port10Gbps:  600,
+		},
+		TrafficTiers: []TrafficTier{
+			{SizeGB: 1000, USD: 0}, // first TB bundled with the node
+			{SizeGB: 5000, USD: 40},
+			{SizeGB: 10000, USD: 90},
+			{SizeGB: 20000, USD: 180},
+		},
+		UnlimitedTrafficUSD:  500,
+		OverageUSDPerGB:      0.09,
+		LeasedLineUSDPerMbps: 100,
+		LeasedLineBaseUSD:    500,
+	}
+}
+
+// TrafficTier is one bandwidth bundle.
+type TrafficTier struct {
+	SizeGB int
+	USD    float64
+}
+
+// ErrUnknownPort is returned for a port speed missing from the rate card.
+var ErrUnknownPort = errors.New("cost: unknown port speed")
+
+// NodeMonthlyUSD prices one overlay node per month.
+func (p Pricing) NodeMonthlyUSD(spec NodeSpec) (float64, error) {
+	base := p.VirtualBaseUSD
+	if spec.Class == BareMetal {
+		base = p.BareMetalBaseUSD
+	}
+	up, ok := p.PortUpchargeUSD[spec.Port]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d Mbps", ErrUnknownPort, spec.Port)
+	}
+	return base + up + p.trafficUSD(spec.MonthlyTrafficGB), nil
+}
+
+func (p Pricing) trafficUSD(gb int) float64 {
+	if gb <= 0 {
+		return p.UnlimitedTrafficUSD
+	}
+	for _, t := range p.TrafficTiers {
+		if gb <= t.SizeGB {
+			return t.USD
+		}
+	}
+	last := p.TrafficTiers[len(p.TrafficTiers)-1]
+	return last.USD + float64(gb-last.SizeGB)*p.OverageUSDPerGB
+}
+
+// OverlayMonthlyUSD prices a whole CRONet: n identical overlay nodes.
+func (p Pricing) OverlayMonthlyUSD(n int, spec NodeSpec) (float64, error) {
+	per, err := p.NodeMonthlyUSD(spec)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * per, nil
+}
+
+// LeasedLineMonthlyUSD prices a private line of the given committed rate.
+func (p Pricing) LeasedLineMonthlyUSD(committedMbps float64) float64 {
+	if committedMbps <= 0 {
+		return 0
+	}
+	return p.LeasedLineBaseUSD + committedMbps*p.LeasedLineUSDPerMbps
+}
+
+// Comparison is the paper's cost-per-performance comparison for one site
+// pair: the overlay's achieved throughput at its monthly cost versus a
+// leased line provisioned to the same committed rate.
+type Comparison struct {
+	AchievedMbps   float64
+	OverlayUSD     float64
+	LeasedLineUSD  float64
+	OverlayPerMbps float64
+	LeasedPerMbps  float64
+	// SavingsFactor is leased / overlay (the abstract's "a tenth of the
+	// cost" corresponds to a factor >= 10).
+	SavingsFactor float64
+}
+
+// Compare prices an overlay of n nodes achieving achievedMbps against a
+// leased line committed to the same rate.
+func (p Pricing) Compare(n int, spec NodeSpec, achievedMbps float64) (Comparison, error) {
+	overlay, err := p.OverlayMonthlyUSD(n, spec)
+	if err != nil {
+		return Comparison{}, err
+	}
+	leased := p.LeasedLineMonthlyUSD(achievedMbps)
+	c := Comparison{
+		AchievedMbps:  achievedMbps,
+		OverlayUSD:    overlay,
+		LeasedLineUSD: leased,
+	}
+	if achievedMbps > 0 {
+		c.OverlayPerMbps = overlay / achievedMbps
+		c.LeasedPerMbps = leased / achievedMbps
+	}
+	if overlay > 0 {
+		c.SavingsFactor = leased / overlay
+	}
+	return c, nil
+}
+
+// TrafficGBForRate converts a sustained rate into the monthly traffic
+// volume it produces (for picking a bandwidth tier): Mbps * seconds per
+// month / 8 / 1e3.
+func TrafficGBForRate(mbps float64, dutyCycle float64) int {
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		dutyCycle = 1
+	}
+	const secondsPerMonth = 30 * 24 * 3600
+	gb := mbps * dutyCycle * secondsPerMonth / 8 / 1000
+	return int(math.Ceil(gb))
+}

@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNodeMonthlyUSD(t *testing.T) {
+	p := DefaultPricing()
+	tests := []struct {
+		name string
+		spec NodeSpec
+		want float64
+	}{
+		{"paper's $20-25 node", NodeSpec{Virtual, Port100Mbps, 1000}, 25},
+		{"virtual 1G, 5TB", NodeSpec{Virtual, Port1Gbps, 5000}, 25 + 100 + 40},
+		{"bare metal 10G unlimited", NodeSpec{BareMetal, Port10Gbps, 0}, 200 + 600 + 500},
+		{"overage", NodeSpec{Virtual, Port100Mbps, 21000}, 25 + 180 + 1000*0.09},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := p.NodeMonthlyUSD(tt.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("NodeMonthlyUSD = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnknownPort(t *testing.T) {
+	p := DefaultPricing()
+	if _, err := p.NodeMonthlyUSD(NodeSpec{Virtual, PortSpeed(42), 1000}); !errors.Is(err, ErrUnknownPort) {
+		t.Errorf("err = %v, want ErrUnknownPort", err)
+	}
+}
+
+func TestLeasedLine(t *testing.T) {
+	p := DefaultPricing()
+	if got := p.LeasedLineMonthlyUSD(50); got != 500+50*100 {
+		t.Errorf("leased = %v", got)
+	}
+	if got := p.LeasedLineMonthlyUSD(0); got != 0 {
+		t.Errorf("zero-rate leased = %v", got)
+	}
+}
+
+// TestAbstractClaim reproduces the paper's abstract: a CRONet with a
+// handful of 100 Mbps overlay nodes achieving tens of Mbps costs about a
+// tenth of leased lines of comparable performance.
+func TestAbstractClaim(t *testing.T) {
+	p := DefaultPricing()
+	// Two overlay nodes (the paper's Table I: 1-2 nodes capture the
+	// gains), 100 Mbps ports, ~5 TB/month, achieving 50 Mbps.
+	cmp, err := p.Compare(2, NodeSpec{Virtual, Port100Mbps, 5000}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SavingsFactor < 10 {
+		t.Errorf("savings factor = %.1f, paper claims >= ~10x", cmp.SavingsFactor)
+	}
+	if cmp.OverlayPerMbps >= cmp.LeasedPerMbps {
+		t.Error("overlay should cost less per Mbps")
+	}
+}
+
+func TestCompareZeroRate(t *testing.T) {
+	p := DefaultPricing()
+	cmp, err := p.Compare(1, NodeSpec{Virtual, Port100Mbps, 1000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OverlayPerMbps != 0 || cmp.LeasedPerMbps != 0 {
+		t.Errorf("zero-rate per-Mbps should be 0: %+v", cmp)
+	}
+}
+
+func TestTrafficGBForRate(t *testing.T) {
+	// 10 Mbps sustained for a month: 10 * 2.592e6 s / 8 / 1000 = 3240 GB.
+	if got := TrafficGBForRate(10, 1); got != 3240 {
+		t.Errorf("TrafficGBForRate = %d, want 3240", got)
+	}
+	// 50% duty cycle halves it.
+	if got := TrafficGBForRate(10, 0.5); got != 1620 {
+		t.Errorf("TrafficGBForRate(duty 0.5) = %d, want 1620", got)
+	}
+	// Invalid duty cycle falls back to 1.
+	if got := TrafficGBForRate(10, 2); got != 3240 {
+		t.Errorf("TrafficGBForRate(duty 2) = %d", got)
+	}
+}
+
+// TestTrafficTiersMonotone: paying for more traffic never costs less.
+func TestTrafficTiersMonotone(t *testing.T) {
+	p := DefaultPricing()
+	prev := -1.0
+	for gb := 100; gb <= 40000; gb += 500 {
+		got := p.trafficUSD(gb)
+		if got < prev {
+			t.Fatalf("traffic pricing not monotone at %d GB: %v < %v", gb, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestServerClassString(t *testing.T) {
+	if Virtual.String() != "virtual" || BareMetal.String() != "bare-metal" {
+		t.Error("class names wrong")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"cronets/internal/netsim"
+	"cronets/internal/stats"
+	"cronets/internal/trace"
+)
+
+// DiversityClass buckets overlay paths by improvement ratio as in
+// Figure 8's legend.
+type DiversityClass int
+
+// Figure 8's improvement-ratio classes.
+const (
+	ClassAll      DiversityClass = iota + 1 // every overlay path
+	ClassAbove125                           // ratio > 1.25
+	Class100To125                           // 1.0 < ratio <= 1.25
+	Class050To100                           // 0.5 < ratio <= 1.0
+	ClassBelow050                           // ratio <= 0.5
+)
+
+// String returns the legend label from the paper's Figure 8.
+func (c DiversityClass) String() string {
+	switch c {
+	case ClassAll:
+		return "All Overlays"
+	case ClassAbove125:
+		return "Improvement Ratio > 1.25"
+	case Class100To125:
+		return "1.0 < Improvement Ratio <= 1.25"
+	case Class050To100:
+		return "0.5 < Improvement Ratio <= 1.0"
+	case ClassBelow050:
+		return "Improvement Ratio <= 0.5"
+	default:
+		return "unknown"
+	}
+}
+
+// DiversityResult holds the Section V-A analyses: diversity-score samples
+// per improvement class (Figure 8), the location of shared routers, and
+// the hop-count comparison of Section V-B.
+type DiversityResult struct {
+	// Scores maps each class to its diversity-score samples.
+	Scores map[DiversityClass][]float64
+	// EndCommon and MiddleCommon count the shared routers falling in the
+	// direct paths' end segments versus middle segment (paper: 87% / 13%).
+	EndCommon, MiddleCommon int
+	// HopRatios holds overlay/direct router-hop-count ratios for overlay
+	// paths improving throughput by more than 25% (paper: 96% of them are
+	// longer than the direct path; 45% at least 1.5x).
+	HopRatios []float64
+	// ASHopRatios holds the same comparison at the AS level (the paper
+	// examined AS-level hop counts for a subset and found the same trend).
+	ASHopRatios []float64
+}
+
+// CDF returns the diversity-score CDF for one class (a Figure 8 curve).
+func (d DiversityResult) CDF(c DiversityClass) *stats.CDF {
+	return stats.NewCDF(d.Scores[c])
+}
+
+// EndFraction is the fraction of shared routers in the end segments.
+func (d DiversityResult) EndFraction() float64 {
+	total := d.EndCommon + d.MiddleCommon
+	if total == 0 {
+		return 0
+	}
+	return float64(d.EndCommon) / float64(total)
+}
+
+// FracScoreAtLeast returns, for a class, the fraction of overlay paths
+// with a diversity score of at least s (the paper quotes 60% >= 0.38 and
+// 25% >= 0.55 for all overlays).
+func (d DiversityResult) FracScoreAtLeast(c DiversityClass, s float64) float64 {
+	xs := d.Scores[c]
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= s {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FracLonger returns the fraction of >25%-improved overlay paths with more
+// router hops than their direct path, and the fraction at least 1.5x.
+func (d DiversityResult) FracLonger() (longer, atLeast150 float64) {
+	if len(d.HopRatios) == 0 {
+		return 0, 0
+	}
+	var l, h int
+	for _, r := range d.HopRatios {
+		if r > 1 {
+			l++
+		}
+		if r >= 1.5 {
+			h++
+		}
+	}
+	n := float64(len(d.HopRatios))
+	return float64(l) / n, float64(h) / n
+}
+
+// Diversity runs the Section V-A/V-B traceroute analyses over a controlled
+// experiment's measurements. Improvement classes use the plain-overlay
+// throughput ratio of each individual overlay path (not the best path),
+// matching the paper's per-overlay-path treatment. Hops are identified at
+// the interface level (topology.Hop), the same semantics raw traceroute
+// output gives the paper's analysis.
+func (s *Suite) Diversity(res PrevalenceResult) DiversityResult {
+	out := DiversityResult{Scores: make(map[DiversityClass][]float64)}
+	for _, pr := range res.Pairs {
+		if pr.Direct.ThroughputMbps <= 0 {
+			continue
+		}
+		directTrace := s.In.TracerouteHops(pr.DirectPath)
+		for _, o := range pr.Overlays {
+			full, err := o.Route.FullPath()
+			if err != nil {
+				continue
+			}
+			overlayTrace := s.In.TracerouteHops(full)
+			score := trace.DiversityScore(directTrace, overlayTrace)
+			ratio := o.Plain.ThroughputMbps / pr.Direct.ThroughputMbps
+
+			out.Scores[ClassAll] = append(out.Scores[ClassAll], score)
+			out.Scores[classFor(ratio)] = append(out.Scores[classFor(ratio)], score)
+
+			seg := trace.CommonBySegment(directTrace, overlayTrace)
+			out.EndCommon += seg.EndCommon
+			out.MiddleCommon += seg.MiddleCommon
+
+			if ratio >= 1.25 {
+				out.HopRatios = append(out.HopRatios, trace.HopRatio(directTrace, overlayTrace))
+				out.ASHopRatios = append(out.ASHopRatios,
+					trace.HopRatio(s.asSequence(pr.DirectPath), s.asSequence(full)))
+			}
+		}
+	}
+	return out
+}
+
+// FracASLonger returns the fraction of >25%-improved overlay paths whose
+// AS-level path is at least as long as the direct one, and the fraction
+// strictly longer (Section V-B: "the same trend seems to hold").
+func (d DiversityResult) FracASLonger() (atLeast, longer float64) {
+	if len(d.ASHopRatios) == 0 {
+		return 0, 0
+	}
+	var ge, gt int
+	for _, r := range d.ASHopRatios {
+		if r >= 1 {
+			ge++
+		}
+		if r > 1 {
+			gt++
+		}
+	}
+	n := float64(len(d.ASHopRatios))
+	return float64(ge) / n, float64(gt) / n
+}
+
+// asSequence collapses a router path into its AS-level sequence.
+func (s *Suite) asSequence(p netsim.Path) []int {
+	var out []int
+	for _, id := range p.Nodes {
+		asn := s.In.Net.MustNode(id).ASN
+		if asn == 0 {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != asn {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+func classFor(ratio float64) DiversityClass {
+	switch {
+	case ratio > 1.25:
+		return ClassAbove125
+	case ratio > 1.0:
+		return Class100To125
+	case ratio > 0.5:
+		return Class050To100
+	default:
+		return ClassBelow050
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cronets/internal/core"
+	"cronets/internal/cost"
+	"cronets/internal/placement"
+	"cronets/internal/stats"
+)
+
+// The runners in this file cover the paper's Section VII future-work
+// items: multi-hop overlay paths (VII-B), overlay node selection (VII-A),
+// higher-bandwidth overlay nodes (VII-C), and the cost comparison (VII-D
+// and the abstract's "a tenth of the cost" claim).
+
+// MultiHopRow compares, for one pair, the best one-hop split overlay with
+// the best two-hop split overlay.
+type MultiHopRow struct {
+	Src, Dst   string
+	DirectMbps float64
+	OneHopMbps float64
+	OneHopVia  string
+	TwoHopMbps float64
+	TwoHopVia  string
+}
+
+// MultiHopResult holds the Section VII-B study.
+type MultiHopResult struct {
+	Rows []MultiHopRow
+}
+
+// FracTwoHopBetter is the fraction of pairs where some two-hop overlay
+// beats the best one-hop overlay by more than 5%.
+func (r MultiHopResult) FracTwoHopBetter() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, row := range r.Rows {
+		if row.TwoHopMbps > row.OneHopMbps*1.05 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Rows))
+}
+
+// MedianTwoHopGain is the median of two-hop/one-hop throughput ratios.
+func (r MultiHopResult) MedianTwoHopGain() float64 {
+	var ratios []float64
+	for _, row := range r.Rows {
+		if row.OneHopMbps > 0 {
+			ratios = append(ratios, row.TwoHopMbps/row.OneHopMbps)
+		}
+	}
+	return stats.Median(ratios)
+}
+
+// RunMultiHop measures, for the first nPairs controlled pairs, every
+// one-hop overlay and every ordered two-hop DC combination, comparing the
+// best of each (Section VII-B).
+func (s *Suite) RunMultiHop(controlled PrevalenceResult, nPairs int) (MultiHopResult, error) {
+	if nPairs <= 0 || nPairs > len(controlled.Pairs) {
+		nPairs = len(controlled.Pairs)
+	}
+	spec := defaultControlledSpec()
+	var out MultiHopResult
+	for i := 0; i < nPairs; i++ {
+		pr := controlled.Pairs[i]
+		row := MultiHopRow{
+			Src: pr.Src.Name, Dst: pr.Dst.Name,
+			DirectMbps: pr.Direct.ThroughputMbps,
+		}
+		if best, ok := pr.BestOverlay(core.SplitOverlay); ok {
+			row.OneHopMbps = best.ThroughputMbps
+			row.OneHopVia = best.DC
+		}
+		dcs := make([]string, 0, len(pr.Overlays))
+		for _, o := range pr.Overlays {
+			dcs = append(dcs, o.DC)
+		}
+		idx := 0
+		for _, dc1 := range dcs {
+			for _, dc2 := range dcs {
+				if dc1 == dc2 {
+					continue
+				}
+				rng := s.rngFor("multihop", i*10_000+idx)
+				idx++
+				m, err := s.CN.MeasureTwoHop(rng, pr.Src, pr.Dst, dc1, dc2, spec, 0)
+				if err != nil {
+					return MultiHopResult{}, fmt.Errorf("experiments: two-hop %s,%s: %w", dc1, dc2, err)
+				}
+				if m.Split.ThroughputMbps > row.TwoHopMbps {
+					row.TwoHopMbps = m.Split.ThroughputMbps
+					row.TwoHopVia = m.Split.DC
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// PlacementResult holds the Section VII-A node-selection study: greedy
+// placement quality as a function of the node budget k.
+type PlacementResult struct {
+	// Chosen[k] is the greedy choice with budget k+1.
+	Chosen [][]string
+	// ObjectiveFrac[k] is the greedy objective as a fraction of the
+	// all-DCs objective for budget k+1.
+	ObjectiveFrac []float64
+	// Coverage[k] is the fraction of pairs within 5% of their all-DCs
+	// throughput under budget k+1.
+	Coverage []float64
+}
+
+// RunPlacement converts the controlled measurement into placement samples
+// (split-overlay throughput per DC) and evaluates greedy budgets 1..max.
+func RunPlacement(controlled PrevalenceResult, maxBudget int) (PlacementResult, error) {
+	var pairs []placement.PairSamples
+	for _, pr := range controlled.Pairs {
+		ps := placement.PairSamples{
+			Name:        pr.Src.Name + "->" + pr.Dst.Name,
+			DirectMbps:  pr.Direct.ThroughputMbps,
+			OverlayMbps: make(map[string]float64, len(pr.Overlays)),
+		}
+		for _, o := range pr.Overlays {
+			ps.OverlayMbps[o.DC] = o.Split.ThroughputMbps
+		}
+		pairs = append(pairs, ps)
+	}
+	all := placement.Candidates(pairs)
+	allObjective := placement.Objective(pairs, all)
+	if maxBudget <= 0 || maxBudget > len(all) {
+		maxBudget = len(all)
+	}
+	var out PlacementResult
+	for k := 1; k <= maxBudget; k++ {
+		chosen, err := placement.Greedy(pairs, k)
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		out.Chosen = append(out.Chosen, chosen)
+		frac := 1.0
+		if allObjective > 0 {
+			frac = placement.Objective(pairs, chosen) / allObjective
+		}
+		out.ObjectiveFrac = append(out.ObjectiveFrac, frac)
+		out.Coverage = append(out.Coverage, placement.Coverage(pairs, chosen, 0.05))
+	}
+	return out, nil
+}
+
+// CostRow is one line of the Section VII-D cost table.
+type CostRow struct {
+	Scenario      string
+	Nodes         int
+	Spec          cost.NodeSpec
+	AchievedMbps  float64
+	OverlayUSD    float64
+	LeasedUSD     float64
+	SavingsFactor float64
+}
+
+// String renders the row.
+func (r CostRow) String() string {
+	return fmt.Sprintf("%-28s nodes=%d port=%dMbps traffic=%dGB  overlay=$%.0f/mo  leased=$%.0f/mo  savings=%.1fx",
+		r.Scenario, r.Nodes, int(r.Spec.Port), r.Spec.MonthlyTrafficGB,
+		r.OverlayUSD, r.LeasedUSD, r.SavingsFactor)
+}
+
+// CostTable prices the deployment options of Section VII-D against leased
+// lines, using the achieved throughput of the controlled experiment's
+// median improved pair as the comparable committed rate.
+func CostTable(controlled PrevalenceResult) ([]CostRow, error) {
+	// Achieved throughput: median best-split across improved pairs.
+	var achieved []float64
+	for _, pr := range controlled.Pairs {
+		if best, ok := pr.BestOverlay(core.SplitOverlay); ok && best.ThroughputMbps > pr.Direct.ThroughputMbps {
+			achieved = append(achieved, best.ThroughputMbps)
+		}
+	}
+	sort.Float64s(achieved)
+	rate := stats.Median(achieved)
+	if rate <= 0 {
+		rate = 50
+	}
+	pricing := cost.DefaultPricing()
+	traffic := cost.TrafficGBForRate(rate, 0.3) // 30% duty cycle
+	scenarios := []struct {
+		name  string
+		nodes int
+		spec  cost.NodeSpec
+	}{
+		{"virtual 100Mbps x2", 2, cost.NodeSpec{Class: cost.Virtual, Port: cost.Port100Mbps, MonthlyTrafficGB: traffic}},
+		{"virtual 1Gbps x2", 2, cost.NodeSpec{Class: cost.Virtual, Port: cost.Port1Gbps, MonthlyTrafficGB: traffic}},
+		{"virtual 100Mbps x4", 4, cost.NodeSpec{Class: cost.Virtual, Port: cost.Port100Mbps, MonthlyTrafficGB: traffic}},
+		{"bare-metal 10Gbps x2", 2, cost.NodeSpec{Class: cost.BareMetal, Port: cost.Port10Gbps, MonthlyTrafficGB: 0}},
+	}
+	rows := make([]CostRow, 0, len(scenarios))
+	for _, sc := range scenarios {
+		cmp, err := pricing.Compare(sc.nodes, sc.spec, rate)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cost table: %w", err)
+		}
+		rows = append(rows, CostRow{
+			Scenario:      sc.name,
+			Nodes:         sc.nodes,
+			Spec:          sc.spec,
+			AchievedMbps:  cmp.AchievedMbps,
+			OverlayUSD:    cmp.OverlayUSD,
+			LeasedUSD:     cmp.LeasedLineUSD,
+			SavingsFactor: cmp.SavingsFactor,
+		})
+	}
+	return rows, nil
+}
+
+// HighBandwidthResult compares overlay gains with 100 Mbps vs 1 Gbps
+// overlay-node NICs (Section VII-C): with the NIC cap lifted, split
+// overlays on fat paths keep scaling.
+type HighBandwidthResult struct {
+	Split100  RatioSummary
+	Split1000 RatioSummary
+}
+
+// RunHighBandwidth reruns the controlled experiment with 1 Gbps overlay
+// NICs on a fresh suite and compares the split-overlay summaries.
+func RunHighBandwidth(seed int64, scale Scale) (HighBandwidthResult, error) {
+	base, err := NewSuite(seed, scale)
+	if err != nil {
+		return HighBandwidthResult{}, err
+	}
+	res100, err := base.RunControlled()
+	if err != nil {
+		return HighBandwidthResult{}, err
+	}
+
+	cfg := suiteTopologyConfig(seed, scale)
+	cfg.CloudNICMbps = 1000
+	fat, err := newSuite(seed, cfg)
+	if err != nil {
+		return HighBandwidthResult{}, err
+	}
+	res1000, err := fat.RunControlled()
+	if err != nil {
+		return HighBandwidthResult{}, err
+	}
+	return HighBandwidthResult{
+		Split100:  res100.SplitSummary(),
+		Split1000: res1000.SplitSummary(),
+	}, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// smallControlled builds a small-scale suite and controlled run shared by
+// the extension tests.
+func smallControlled(t *testing.T) (*Suite, PrevalenceResult) {
+	t.Helper()
+	s, err := NewSuite(7, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunControlled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+func TestRunMultiHop(t *testing.T) {
+	s, res := smallControlled(t)
+	mh, err := s.RunMultiHop(res, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mh.Rows) != 6 {
+		t.Fatalf("rows = %d", len(mh.Rows))
+	}
+	for _, row := range mh.Rows {
+		if row.OneHopMbps <= 0 || row.TwoHopMbps <= 0 {
+			t.Errorf("row %s->%s has zero throughput: %+v", row.Src, row.Dst, row)
+		}
+	}
+	// Two-hop should not be wildly better than one-hop on average (the
+	// paper's one-hop focus is justified); it may win occasionally.
+	if gain := mh.MedianTwoHopGain(); gain < 0.3 || gain > 2.5 {
+		t.Errorf("median two-hop gain = %v, expected near 1", gain)
+	}
+}
+
+func TestRunPlacement(t *testing.T) {
+	_, res := smallControlled(t)
+	pl, err := RunPlacement(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.ObjectiveFrac) != 4 {
+		t.Fatalf("budgets = %d", len(pl.ObjectiveFrac))
+	}
+	prev := 0.0
+	for k, frac := range pl.ObjectiveFrac {
+		if frac < prev-1e-9 {
+			t.Errorf("objective fraction decreased at budget %d", k+1)
+		}
+		if frac < 0 || frac > 1+1e-9 {
+			t.Errorf("objective fraction %v out of range", frac)
+		}
+		prev = frac
+	}
+	// A budget of 4 of the 5 DCs must recover nearly the all-DCs value.
+	if pl.ObjectiveFrac[3] < 0.97 {
+		t.Errorf("budget-4 objective fraction = %v", pl.ObjectiveFrac[3])
+	}
+	// The paper's Table I story: one or two nodes capture most of the value.
+	if pl.ObjectiveFrac[1] < 0.85 {
+		t.Errorf("two-node objective fraction = %v, expected most of the value", pl.ObjectiveFrac[1])
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	_, res := smallControlled(t)
+	rows, err := CostTable(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The abstract's claim: the basic virtual deployment saves ~10x over
+	// leased lines of comparable performance.
+	if rows[0].SavingsFactor < 5 {
+		t.Errorf("savings factor = %.1f for %s, paper claims ~10x",
+			rows[0].SavingsFactor, rows[0].Scenario)
+	}
+	for _, r := range rows {
+		if r.OverlayUSD <= 0 || r.LeasedUSD <= 0 {
+			t.Errorf("row %s has non-positive cost: %+v", r.Scenario, r)
+		}
+	}
+}
+
+func TestRunHighBandwidth(t *testing.T) {
+	res, err := RunHighBandwidth(7, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Split100.N == 0 || res.Split1000.N == 0 {
+		t.Fatal("empty summaries")
+	}
+	// Lifting the overlay NIC cap must not hurt; the mean improvement
+	// should be at least comparable.
+	if res.Split1000.Mean < res.Split100.Mean*0.8 {
+		t.Errorf("1 Gbps NIC mean %v below 100 Mbps mean %v",
+			res.Split1000.Mean, res.Split100.Mean)
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cronets/internal/c45"
+	"cronets/internal/core"
+	"cronets/internal/stats"
+)
+
+// BinRow is one bar of Figures 9 and 10: a bin of direct paths by RTT or
+// loss rate, with the median throughput-improvement ratio, its median
+// absolute deviation, the fraction of paths improved, and the bin size.
+type BinRow struct {
+	Label        string
+	N            int
+	MedianRatio  float64
+	MAD          float64
+	FracImproved float64
+}
+
+// String renders the row as a fixed-width table line.
+func (b BinRow) String() string {
+	return fmt.Sprintf("%-14s n=%-4d median=%5.2f mad=%5.2f improved=%3.0f%%",
+		b.Label, b.N, b.MedianRatio, b.MAD, b.FracImproved*100)
+}
+
+// pairRatio is the per-pair record feeding the Section V analyses: the
+// direct path's attributes and the best split-overlay improvement ratio.
+type pairRatio struct {
+	directRTTms float64
+	directLoss  float64
+	directThr   float64
+	ratio       float64
+}
+
+func pairRatios(res PrevalenceResult) []pairRatio {
+	var out []pairRatio
+	for _, pr := range res.Pairs {
+		best, ok := pr.BestOverlay(core.SplitOverlay)
+		if !ok || pr.Direct.ThroughputMbps <= 0 {
+			continue
+		}
+		out = append(out, pairRatio{
+			directRTTms: float64(pr.Direct.AvgRTT.Milliseconds()),
+			directLoss:  pr.Direct.RetransRate,
+			directThr:   pr.Direct.ThroughputMbps,
+			ratio:       best.ThroughputMbps / pr.Direct.ThroughputMbps,
+		})
+	}
+	return out
+}
+
+// RTTBins reproduces Figure 9: direct paths binned by average RTT
+// ([0,70), [70,140), [140,210), [210,280), [280,inf) ms) against the
+// median improvement ratio of the best overlay path.
+func RTTBins(res PrevalenceResult) []BinRow {
+	return binRows(pairRatios(res), []float64{0, 70, 140, 210, 280},
+		func(p pairRatio) float64 { return p.directRTTms })
+}
+
+// LossBins reproduces Figure 10: direct paths binned by loss rate
+// ({0}, (0,0.0025), [0.0025,0.005), [0.005,inf)).
+func LossBins(res PrevalenceResult) []BinRow {
+	prs := pairRatios(res)
+	// The zero-loss bin is exact in the paper; make the first edge a
+	// degenerate bin by splitting at the smallest positive loss.
+	var zero, rest []pairRatio
+	for _, p := range prs {
+		if p.directLoss == 0 {
+			zero = append(zero, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	rows := []BinRow{rowFromSamples("[0]", ratios(zero))}
+	rows = append(rows, binRows(rest, []float64{0, 0.0025, 0.005},
+		func(p pairRatio) float64 { return p.directLoss })...)
+	// Relabel the first non-zero bin to the paper's open interval.
+	if len(rows) > 1 {
+		rows[1].Label = "(0,0.0025)"
+	}
+	return rows
+}
+
+func binRows(prs []pairRatio, edges []float64, key func(pairRatio) float64) []BinRow {
+	bins := stats.BinBy(prs, edges, key, func(p pairRatio) float64 { return p.ratio })
+	rows := make([]BinRow, 0, len(bins))
+	for _, b := range bins {
+		rows = append(rows, rowFromSamples(b.Label(), b.Samples))
+	}
+	return rows
+}
+
+func rowFromSamples(label string, samples []float64) BinRow {
+	return BinRow{
+		Label:        label,
+		N:            len(samples),
+		MedianRatio:  stats.Median(samples),
+		MAD:          stats.MedianAbsDev(samples),
+		FracImproved: stats.FractionAbove(samples, 1),
+	}
+}
+
+func ratios(prs []pairRatio) []float64 {
+	out := make([]float64, len(prs))
+	for i, p := range prs {
+		out[i] = p.ratio
+	}
+	return out
+}
+
+// ScatterPoint is one point of Figure 11: direct throughput on X, the
+// throughput increase ratio (T_overlay - T_direct)/T_direct on Y.
+type ScatterPoint struct {
+	DirectMbps    float64
+	IncreaseRatio float64
+}
+
+// Scatter reproduces Figure 11 from the controlled experiment.
+func Scatter(res PrevalenceResult) []ScatterPoint {
+	var out []ScatterPoint
+	for _, p := range pairRatios(res) {
+		out = append(out, ScatterPoint{
+			DirectMbps:    p.directThr,
+			IncreaseRatio: p.ratio - 1,
+		})
+	}
+	return out
+}
+
+// ScatterSummary condenses Figure 11's headline observation: almost all
+// direct paths under 10 Mbps improve, and most of them more than double.
+type ScatterSummary struct {
+	// FracSlowImproved is the fraction of sub-10 Mbps direct paths with a
+	// positive increase ratio.
+	FracSlowImproved float64
+	// FracSlowDoubled is the fraction of sub-10 Mbps direct paths whose
+	// increase ratio exceeds 1 (throughput more than doubled).
+	FracSlowDoubled float64
+	// SlowN is the number of sub-10 Mbps direct paths.
+	SlowN int
+}
+
+// SummarizeScatter computes the Figure 11 headline statistics.
+func SummarizeScatter(points []ScatterPoint) ScatterSummary {
+	var s ScatterSummary
+	for _, p := range points {
+		if p.DirectMbps >= 10 {
+			continue
+		}
+		s.SlowN++
+		if p.IncreaseRatio > 0 {
+			s.FracSlowImproved++
+		}
+		if p.IncreaseRatio > 1 {
+			s.FracSlowDoubled++
+		}
+	}
+	if s.SlowN > 0 {
+		s.FracSlowImproved /= float64(s.SlowN)
+		s.FracSlowDoubled /= float64(s.SlowN)
+	}
+	return s
+}
+
+// ThresholdResult reports the C4.5 analysis of Section V-B: the loss and
+// RTT conditions under which an overlay path has a high likelihood of
+// improving throughput. The paper finds that simultaneous reductions of
+// 12.1% (loss) and 10.5% (RTT) suffice. On this substrate the tree learns
+// the same structure with a near-identical loss threshold; the RTT
+// condition comes out as an upper bound on the *relative RTT change*
+// (receive-window-limited transfers tolerate modest RTT increases when
+// loss drops, so the split point can sit above zero).
+type ThresholdResult struct {
+	// LossReductionPct is the learned loss-reduction threshold as a
+	// positive percentage (paper: 12.1).
+	LossReductionPct float64
+	// RTTChangeMaxPct is the learned upper bound on the relative RTT
+	// change, in percent: negative values demand a reduction (the paper's
+	// -10.5%), positive values tolerate up to that much increase.
+	RTTChangeMaxPct float64
+	// Accuracy is the tree's training-set accuracy.
+	Accuracy float64
+	// Rules are the extracted decision rules.
+	Rules []c45.Rule
+	// Samples is the training-set size.
+	Samples int
+}
+
+// C45Thresholds trains a C4.5 tree on (relative RTT change, relative loss
+// change) -> improved? samples drawn from every overlay path of the
+// controlled experiment, then extracts the reduction thresholds from the
+// learned split points, mirroring the paper's analysis.
+func C45Thresholds(res PrevalenceResult) (ThresholdResult, error) {
+	var samples []c45.Sample
+	for _, pr := range res.Pairs {
+		if pr.Direct.ThroughputMbps <= 0 || pr.Direct.AvgRTT <= 0 {
+			continue
+		}
+		for _, o := range pr.Overlays {
+			dRTT := float64(o.Plain.AvgRTT-pr.Direct.AvgRTT) / float64(pr.Direct.AvgRTT)
+			dLoss := 0.0
+			if pr.Direct.RetransRate > 0 {
+				dLoss = (o.Plain.RetransRate - pr.Direct.RetransRate) / pr.Direct.RetransRate
+			} else if o.Plain.RetransRate > 0 {
+				dLoss = 1
+			}
+			label := "not-improved"
+			if o.Plain.ThroughputMbps > pr.Direct.ThroughputMbps {
+				label = "improved"
+			}
+			samples = append(samples, c45.Sample{Attrs: []float64{dRTT, dLoss}, Label: label})
+		}
+	}
+	tree, err := c45.Train(samples, []string{"dRTT", "dLoss"}, c45.DefaultConfig())
+	if err != nil {
+		return ThresholdResult{}, fmt.Errorf("experiments: c4.5: %w", err)
+	}
+	out := ThresholdResult{
+		Accuracy: tree.Accuracy(samples),
+		Rules:    tree.Rules(),
+		Samples:  len(samples),
+	}
+	// The paper's thresholds describe the outer boundary of the
+	// "improved" region: the loosest conditions that still predict a
+	// gain. Among well-supported improved rules (>= 5% of the improved
+	// mass), pick the one with the least demanding loss bound and report
+	// its conditions.
+	var improvedSupport int
+	for _, r := range out.Rules {
+		if r.Label == "improved" {
+			improvedSupport += r.Support
+		}
+	}
+	bestLoss := math.Inf(-1)
+	for _, r := range out.Rules {
+		if r.Label != "improved" || r.Support*10 < improvedSupport {
+			continue
+		}
+		rtt, rttOK, loss, lossOK := ruleThresholds(r)
+		if !lossOK || loss <= bestLoss {
+			continue
+		}
+		bestLoss = loss
+		if loss < 0 {
+			out.LossReductionPct = -loss * 100
+		} else {
+			out.LossReductionPct = 0
+		}
+		if rttOK {
+			out.RTTChangeMaxPct = rtt * 100
+		} else {
+			out.RTTChangeMaxPct = 0
+		}
+	}
+	return out, nil
+}
+
+// ruleThresholds extracts the tightest "attr <= t" thresholds from a
+// rule's conditions for dRTT and dLoss.
+func ruleThresholds(r c45.Rule) (dRTT float64, rttOK bool, dLoss float64, lossOK bool) {
+	dRTT, dLoss = math.Inf(1), math.Inf(1)
+	for _, cond := range r.Conds {
+		var name string
+		var thr float64
+		if n, err := fmt.Sscanf(cond, "%s <= %g", &name, &thr); err == nil && n == 2 {
+			switch name {
+			case "dRTT":
+				if thr < dRTT {
+					dRTT, rttOK = thr, true
+				}
+			case "dLoss":
+				if thr < dLoss {
+					dLoss, lossOK = thr, true
+				}
+			}
+		}
+	}
+	if !rttOK {
+		dRTT = 0
+	}
+	if !lossOK {
+		dLoss = 0
+	}
+	return dRTT, rttOK, dLoss, lossOK
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"cronets/internal/stats"
+)
+
+// RetransResult holds the Figure 4 data: the retransmission-rate
+// distributions of the direct paths and of the best (lowest-retx) overlay
+// tunnel per pair.
+type RetransResult struct {
+	Direct  []float64
+	Overlay []float64
+}
+
+// DirectCDF returns the direct-path retransmission CDF (Figure 4, dotted).
+func (r RetransResult) DirectCDF() *stats.CDF { return stats.NewCDF(r.Direct) }
+
+// OverlayCDF returns the best-overlay retransmission CDF (Figure 4, solid).
+func (r RetransResult) OverlayCDF() *stats.CDF { return stats.NewCDF(r.Overlay) }
+
+// MedianDirect returns the median direct retransmission rate (paper:
+// 2.69e-4).
+func (r RetransResult) MedianDirect() float64 { return stats.Median(r.Direct) }
+
+// MedianOverlay returns the median best-overlay retransmission rate
+// (paper: 1.66e-5, an order of magnitude below direct).
+func (r RetransResult) MedianOverlay() float64 { return stats.Median(r.Overlay) }
+
+// RetransFrom derives the Figure 4 distributions from a controlled-
+// experiment result.
+func RetransFrom(res PrevalenceResult) RetransResult {
+	var out RetransResult
+	for _, pr := range res.Pairs {
+		out.Direct = append(out.Direct, pr.Direct.RetransRate)
+		if best, ok := pr.MinOverlayRetrans(); ok {
+			out.Overlay = append(out.Overlay, best)
+		}
+	}
+	return out
+}
+
+// RTTRatioResult holds the Figure 5 data: per pair, the ratio of the
+// minimum overlay-tunnel average RTT to the direct path's average RTT.
+type RTTRatioResult struct {
+	Ratios []float64
+	// DirectRTTMs records each pair's direct average RTT in milliseconds,
+	// parallel to Ratios, for the >=100 ms / >=150 ms breakdowns.
+	DirectRTTMs []float64
+}
+
+// CDF returns the RTT-ratio CDF (Figure 5).
+func (r RTTRatioResult) CDF() *stats.CDF { return stats.NewCDF(r.Ratios) }
+
+// FracReduced returns the fraction of pairs whose best overlay tunnel has a
+// lower average RTT than the direct path (paper: 52%).
+func (r RTTRatioResult) FracReduced() float64 {
+	if len(r.Ratios) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range r.Ratios {
+		if x < 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Ratios))
+}
+
+// FracReducedAboveRTT returns the fraction of pairs with direct RTT of at
+// least minMs milliseconds whose RTT the overlay reduces (paper: 68% at
+// 100 ms, 90% at 150 ms).
+func (r RTTRatioResult) FracReducedAboveRTT(minMs float64) float64 {
+	n, reduced := 0, 0
+	for i, x := range r.Ratios {
+		if r.DirectRTTMs[i] < minMs {
+			continue
+		}
+		n++
+		if x < 1 {
+			reduced++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(reduced) / float64(n)
+}
+
+// RTTRatiosFrom derives the Figure 5 distribution from a controlled-
+// experiment result.
+func RTTRatiosFrom(res PrevalenceResult) RTTRatioResult {
+	var out RTTRatioResult
+	for _, pr := range res.Pairs {
+		best, ok := pr.MinOverlayRTT()
+		if !ok || pr.Direct.AvgRTT <= 0 {
+			continue
+		}
+		out.Ratios = append(out.Ratios, float64(best)/float64(pr.Direct.AvgRTT))
+		out.DirectRTTMs = append(out.DirectRTTMs, float64(pr.Direct.AvgRTT.Milliseconds()))
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests run the paper's experiments at full scale and assert the
+// *shape* of every reported result: who wins, in which direction, and
+// roughly by how much. Absolute equality with the paper's testbed numbers
+// is not expected (see EXPERIMENTS.md); the bounds below encode the
+// qualitative claims. They are skipped under -short.
+
+func fullSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	s, err := NewSuite(42, ScaleFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func controlled(t *testing.T, s *Suite) PrevalenceResult {
+	t.Helper()
+	res, err := s.RunControlled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFig2RealLife: 6,600 paths; split overlay improves the large majority
+// with a median factor near the paper's 1.67, and plain overlay is clearly
+// weaker than split.
+func TestFig2RealLife(t *testing.T) {
+	s := fullSuite(t)
+	res, err := s.RunRealLife()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PathsSampled != 6600 {
+		t.Errorf("paths sampled = %d, want 6600", res.PathsSampled)
+	}
+	plain, split := res.PlainSummary(), res.SplitSummary()
+	if split.FracImproved < 0.60 || split.FracImproved > 0.90 {
+		t.Errorf("split improved = %.2f, paper 0.78", split.FracImproved)
+	}
+	if split.Median < 1.2 || split.Median > 3.5 {
+		t.Errorf("split median = %.2f, paper 1.67", split.Median)
+	}
+	if plain.FracImproved >= split.FracImproved {
+		t.Errorf("plain (%.2f) should improve fewer paths than split (%.2f)",
+			plain.FracImproved, split.FracImproved)
+	}
+	if plain.Median >= split.Median {
+		t.Errorf("plain median %.2f should be below split median %.2f", plain.Median, split.Median)
+	}
+}
+
+// TestFig3Controlled: 1,250 paths; the ordering plain < split ~= discrete
+// holds, and the split stats sit near the paper's.
+func TestFig3Controlled(t *testing.T) {
+	s := fullSuite(t)
+	res := controlled(t, s)
+	if res.PathsSampled != 1250 {
+		t.Errorf("paths sampled = %d, want 1250", res.PathsSampled)
+	}
+	plain, split, disc := res.PlainSummary(), res.SplitSummary(), res.DiscreteSummary()
+	if split.FracImproved < 0.65 || split.FracImproved > 0.90 {
+		t.Errorf("split improved = %.2f, paper 0.74", split.FracImproved)
+	}
+	if split.Median < 1.3 || split.Median > 2.4 {
+		t.Errorf("split median = %.2f, paper 1.66", split.Median)
+	}
+	if split.Mean < 5 || split.Mean > 30 {
+		t.Errorf("split mean = %.2f, paper 9.26 (heavy tail expected)", split.Mean)
+	}
+	if plain.FracImproved >= split.FracImproved {
+		t.Errorf("plain improved %.2f should be below split %.2f", plain.FracImproved, split.FracImproved)
+	}
+	// Discrete is the upper bound measured separately: it should track the
+	// split results closely (the paper's conclusion that proxy processing
+	// does not hurt).
+	if d := disc.Median / split.Median; d < 0.7 || d > 1.4 {
+		t.Errorf("discrete median %.2f vs split %.2f diverge", disc.Median, split.Median)
+	}
+}
+
+// TestFig4Retransmissions: the best overlay tunnel's retransmission rate
+// is several times below the direct path's.
+func TestFig4Retransmissions(t *testing.T) {
+	s := fullSuite(t)
+	r := RetransFrom(controlled(t, s))
+	if len(r.Direct) == 0 || len(r.Overlay) == 0 {
+		t.Fatal("no samples")
+	}
+	md, mo := r.MedianDirect(), r.MedianOverlay()
+	if mo >= md {
+		t.Errorf("overlay median retx %.2g not below direct %.2g", mo, md)
+	}
+	if md/mo < 2 {
+		t.Errorf("retx contrast %.1fx, paper reports an order of magnitude", md/mo)
+	}
+	if md < 5e-5 || md > 5e-3 {
+		t.Errorf("direct median retx = %.2g, paper 2.69e-4", md)
+	}
+}
+
+// TestFig5RTT: overlays reduce the average RTT for roughly half the pairs,
+// and for most high-RTT pairs.
+func TestFig5RTT(t *testing.T) {
+	s := fullSuite(t)
+	r := RTTRatiosFrom(controlled(t, s))
+	// Our synthetic intra-continental default routes are more RTT-optimal
+	// than the real Internet's circuitous ones, so fewer short-haul pairs
+	// see reductions than the paper's 52% — see EXPERIMENTS.md. The
+	// directional claims still hold: a large fraction of pairs benefit,
+	// and long-RTT pairs benefit more.
+	all := r.FracReduced()
+	if all < 0.30 || all > 0.80 {
+		t.Errorf("RTT reduced for %.2f of pairs, paper 0.52", all)
+	}
+	high := r.FracReducedAboveRTT(150)
+	if high <= all {
+		t.Errorf("high-RTT pairs should benefit more: %.2f vs %.2f overall", high, all)
+	}
+	if high < 0.40 {
+		t.Errorf("RTT reduced for %.2f of >=150ms pairs, paper 0.90", high)
+	}
+}
+
+// TestFig6And7Longitudinal: gains persist over the week; a small number of
+// overlay nodes suffices; Table I saturates by k=2.
+func TestFig6And7Longitudinal(t *testing.T) {
+	s := fullSuite(t)
+	res, err := s.RunLongitudinal(controlled(t, s), DefaultLongitudinalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 30 {
+		t.Fatalf("tracked %d paths, want 30", len(res.Rows))
+	}
+	if got := res.FracImproved(); got < 0.80 {
+		t.Errorf("only %.2f of paths kept their gains, paper 0.90", got)
+	}
+	mean, median := res.ImprovementStats()
+	if mean < 4 || mean > 40 {
+		t.Errorf("avg improvement = %.2f, paper 8.39", mean)
+	}
+	if median < 3 || median > 40 {
+		t.Errorf("median improvement = %.2f, paper 7.58", median)
+	}
+	// Figure 7: one or two overlay nodes suffice for most paths.
+	if got := res.FracNeedingAtMost(2); got < 0.6 {
+		t.Errorf("<=2 nodes suffice for %.2f of paths, paper 0.70", got)
+	}
+	// Table I: monotone non-decreasing in k, saturating.
+	rows := res.NodeCountRows
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanFactor+1e-9 < rows[i-1].MeanFactor {
+			t.Errorf("Table I mean not monotone at k=%d: %.2f -> %.2f",
+				rows[i].Nodes, rows[i-1].MeanFactor, rows[i].MeanFactor)
+		}
+	}
+	if gain := rows[3].MeanFactor - rows[0].MeanFactor; gain > rows[0].MeanFactor*0.15 {
+		t.Errorf("k=1 captures too little: %.2f vs %.2f at k=4 (paper: one or two nodes give most of the benefit)",
+			rows[0].MeanFactor, rows[3].MeanFactor)
+	}
+}
+
+// TestFig8Diversity: overlay paths are substantially different from direct
+// paths, more-improved paths are more diverse, and shared routers sit near
+// the endpoints.
+func TestFig8Diversity(t *testing.T) {
+	s := fullSuite(t)
+	d := s.Diversity(controlled(t, s))
+	if n := len(d.Scores[ClassAll]); n == 0 {
+		t.Fatal("no diversity samples")
+	}
+	for _, score := range d.Scores[ClassAll] {
+		if score < 0 || score > 1 {
+			t.Fatalf("diversity score %v outside [0,1]", score)
+		}
+	}
+	if got := d.FracScoreAtLeast(ClassAll, 0.38); got < 0.35 {
+		t.Errorf("%.2f of overlays have score >= 0.38, paper 0.60", got)
+	}
+	improved := d.CDF(ClassAbove125).Quantile(0.5)
+	worsened := d.CDF(ClassBelow050).Quantile(0.5)
+	if len(d.Scores[ClassAbove125]) > 10 && len(d.Scores[ClassBelow050]) > 10 && improved < worsened {
+		t.Errorf("improved paths median diversity %.2f below worsened %.2f", improved, worsened)
+	}
+	if got := d.EndFraction(); got < 0.6 {
+		t.Errorf("end-segment share of common routers = %.2f, paper 0.87", got)
+	}
+	longer, _ := d.FracLonger()
+	if longer < 0.5 {
+		t.Errorf("only %.2f of well-improved overlay paths are longer, paper 0.96", longer)
+	}
+	// AS-level: the overlay path never shrinks the AS sequence (the
+	// paper's "same trend" observation; with cloud senders the first leg
+	// is intra-provider so equality dominates).
+	if asAtLeast, _ := d.FracASLonger(); asAtLeast < 0.99 {
+		t.Errorf("AS-level paths shrank for %.2f of improved overlays", 1-asAtLeast)
+	}
+}
+
+// TestFig9And10Bins: improvement grows with direct-path RTT and loss.
+func TestFig9And10Bins(t *testing.T) {
+	s := fullSuite(t)
+	res := controlled(t, s)
+
+	rtt := RTTBins(res)
+	if len(rtt) != 5 {
+		t.Fatalf("RTT bins = %d, want 5", len(rtt))
+	}
+	// The >=280ms bin's median should be at least the <70ms bin's, and
+	// high-RTT bins should mostly improve.
+	if rtt[4].N > 3 && rtt[0].N > 3 && rtt[4].MedianRatio < rtt[0].MedianRatio {
+		t.Errorf("RTT bins not increasing: %v -> %v", rtt[0], rtt[4])
+	}
+	var high *BinRow
+	for i := range rtt {
+		if rtt[i].Label == "[140,210)" {
+			high = &rtt[i]
+		}
+	}
+	if high != nil && high.N > 5 && high.FracImproved < 0.6 {
+		t.Errorf(">=140ms bin improved only %.2f, paper >= 0.84", high.FracImproved)
+	}
+
+	loss := LossBins(res)
+	if len(loss) != 4 {
+		t.Fatalf("loss bins = %d, want 4", len(loss))
+	}
+	last := loss[len(loss)-1]
+	if last.N > 3 && last.FracImproved < 0.7 {
+		t.Errorf("high-loss bin improved %.2f, paper >= 0.86", last.FracImproved)
+	}
+}
+
+// TestFig11Scatter: nearly all sub-10 Mbps direct paths improve, and most
+// more than double.
+func TestFig11Scatter(t *testing.T) {
+	s := fullSuite(t)
+	sum := SummarizeScatter(Scatter(controlled(t, s)))
+	if sum.SlowN < 20 {
+		t.Fatalf("only %d slow paths; workload degenerate", sum.SlowN)
+	}
+	if sum.FracSlowImproved < 0.85 {
+		t.Errorf("%.2f of sub-10 Mbps paths improved, paper: almost all", sum.FracSlowImproved)
+	}
+	if sum.FracSlowDoubled < 0.5 {
+		t.Errorf("%.2f of sub-10 Mbps paths doubled, paper: majority", sum.FracSlowDoubled)
+	}
+}
+
+// TestC45Thresholds: the decision tree finds that simultaneous RTT and
+// loss reductions predict improvement, with thresholds in the tens of
+// percent at most.
+func TestC45Thresholds(t *testing.T) {
+	s := fullSuite(t)
+	res, err := C45Thresholds(controlled(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples < 500 {
+		t.Fatalf("only %d samples", res.Samples)
+	}
+	if res.Accuracy < 0.7 {
+		t.Errorf("tree accuracy = %.2f", res.Accuracy)
+	}
+	// The loss-reduction threshold is the paper's headline number (12.1%);
+	// ours should land in the same band.
+	if res.LossReductionPct < 3 || res.LossReductionPct > 40 {
+		t.Errorf("loss-reduction threshold = %.1f%%, paper 12.1%%", res.LossReductionPct)
+	}
+	// The RTT condition must exist; its split point is the noisiest part
+	// of the tree (see EXPERIMENTS.md), so only require that it rules out
+	// unbounded RTT growth.
+	if res.RTTChangeMaxPct == 0 {
+		t.Error("no RTT condition learned (paper: -10.5%)")
+	}
+	if res.RTTChangeMaxPct > 300 {
+		t.Errorf("RTT change bound %.1f%% implausibly loose", res.RTTChangeMaxPct)
+	}
+}
+
+// TestFig12MPTCPOlia: coupled MPTCP reaches at least the best of
+// direct/plain-overlay on (almost) every worst path, with low variance.
+func TestFig12MPTCPOlia(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	s, err := NewMPTCPSuite(42, ScaleFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunMPTCP(DefaultMPTCPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairsMeasured != 72 {
+		t.Errorf("pairs measured = %d, want 72", res.PairsMeasured)
+	}
+	if len(res.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(res.Rows))
+	}
+	if got := res.FracMPTCPAtLeastBestOverlay(0.1); got < 0.85 {
+		t.Errorf("MPTCP matched the best path for only %.2f of rows", got)
+	}
+	for _, r := range res.Rows {
+		if r.MPTCPMean > 0 && r.MPTCPStd/r.MPTCPMean > 0.35 {
+			t.Errorf("row %d: MPTCP variance too high (%.1f +- %.1f)", r.Index, r.MPTCPMean, r.MPTCPStd)
+		}
+	}
+}
+
+// TestFig13MPTCPUncoupled: per-subflow CUBIC saturates the 100 Mbps NIC.
+func TestFig13MPTCPUncoupled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	s, err := NewMPTCPSuite(42, ScaleFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunMPTCP(UncoupledMPTCPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanMPTCP(); got < 85 || got > 102 {
+		t.Errorf("uncoupled mean = %.1f Mbps, paper: ~100 (NIC-limited)", got)
+	}
+}
+
+// TestLongitudinalDeterministic: rerunning the suite reproduces the same
+// headline statistics.
+func TestControlledDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	run := func() RatioSummary {
+		s, err := NewSuite(42, ScaleFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunControlled()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SplitSummary()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed gave different summaries: %v vs %v", a, b)
+	}
+}
+
+// TestTransientEventRecovers: the injected intermediate-ISP event degrades
+// direct paths during the controlled window and clears afterwards.
+func TestTransientEventRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	s, err := NewSuite(42, ScaleFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := s.EventClient()
+	sender := s.In.DCs[s.In.DCOrder[0]]
+	spec := defaultControlledSpec()
+
+	during, _, err := s.CN.MeasureDirect(s.rngFor("event-test", 0), sender, client, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := s.CN.MeasureDirect(s.rngFor("event-test", 0), sender, client, spec, transientEventEnd+time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ThroughputMbps < during.ThroughputMbps*2 {
+		t.Errorf("event client direct: during=%v after=%v, expected clear recovery",
+			during.ThroughputMbps, after.ThroughputMbps)
+	}
+}
+
+// TestDiurnalVariationPlaceholder documents that longitudinal variance
+// comes from measurement stochasticity; the persistence claim (small std
+// dev in Figure 6) is asserted here.
+func TestLongitudinalVarianceSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale reproduction runs are skipped in -short mode")
+	}
+	s := fullSuite(t)
+	cfg := DefaultLongitudinalConfig()
+	cfg.TopPaths = 10
+	cfg.Samples = 20
+	res, err := s.RunLongitudinal(controlled(t, s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := 0
+	for _, r := range res.Rows {
+		if r.OverlayMean > 0 && r.OverlayStd/r.OverlayMean < 0.35 {
+			stable++
+		}
+	}
+	if frac := float64(stable) / float64(len(res.Rows)); frac < 0.7 {
+		t.Errorf("only %.2f of paths have stable overlay throughput (paper: small std devs)", frac)
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cronets/internal/core"
+)
+
+// fakePair builds a PairResult with a direct measurement and one overlay.
+func fakePair(directMbps, overlayMbps float64, directRTT, overlayRTT time.Duration,
+	directRetx, overlayRetx float64) core.PairResult {
+	return core.PairResult{
+		Direct: core.Measurement{
+			Kind:           core.Direct,
+			ThroughputMbps: directMbps,
+			AvgRTT:         directRTT,
+			RetransRate:    directRetx,
+		},
+		Overlays: []core.OverlayMeasurements{{
+			DC: "TestDC",
+			Plain: core.Measurement{Kind: core.Overlay, DC: "TestDC",
+				ThroughputMbps: overlayMbps, AvgRTT: overlayRTT, RetransRate: overlayRetx},
+			Split: core.Measurement{Kind: core.SplitOverlay, DC: "TestDC",
+				ThroughputMbps: overlayMbps * 1.2, AvgRTT: overlayRTT, RetransRate: overlayRetx},
+			Discrete: core.Measurement{Kind: core.DiscreteOverlay, DC: "TestDC",
+				ThroughputMbps: overlayMbps * 1.25, AvgRTT: overlayRTT, RetransRate: overlayRetx},
+		}},
+	}
+}
+
+func TestSummarizeRatios(t *testing.T) {
+	rs := []float64{0.5, 1.0, 1.3, 2.0, math.Inf(1)}
+	sum := SummarizeRatios(rs)
+	if sum.N != 5 {
+		t.Errorf("N = %d", sum.N)
+	}
+	// Strictly greater than 1: 1.3, 2.0, +Inf.
+	if math.Abs(sum.FracImproved-0.6) > 1e-9 {
+		t.Errorf("FracImproved = %v, want 0.6", sum.FracImproved)
+	}
+	// Mean over finite values: (0.5+1+1.3+2)/4 = 1.2.
+	if math.Abs(sum.Mean-1.2) > 1e-9 {
+		t.Errorf("Mean = %v, want 1.2", sum.Mean)
+	}
+	if math.Abs(sum.FracAtLeast25-0.6) > 1e-9 {
+		t.Errorf("FracAtLeast25 = %v, want 0.6 (1.3, 2.0 and Inf all count)", sum.FracAtLeast25)
+	}
+}
+
+func TestRetransFrom(t *testing.T) {
+	res := PrevalenceResult{Pairs: []core.PairResult{
+		fakePair(10, 20, 100*time.Millisecond, 80*time.Millisecond, 1e-3, 1e-5),
+		fakePair(50, 40, 50*time.Millisecond, 90*time.Millisecond, 2e-4, 3e-5),
+	}}
+	r := RetransFrom(res)
+	if len(r.Direct) != 2 || len(r.Overlay) != 2 {
+		t.Fatalf("lengths: %d/%d", len(r.Direct), len(r.Overlay))
+	}
+	if r.MedianOverlay() >= r.MedianDirect() {
+		t.Error("overlay median should be lower")
+	}
+}
+
+func TestRTTRatiosFrom(t *testing.T) {
+	res := PrevalenceResult{Pairs: []core.PairResult{
+		fakePair(10, 20, 200*time.Millisecond, 100*time.Millisecond, 0, 0), // reduced
+		fakePair(10, 20, 100*time.Millisecond, 150*time.Millisecond, 0, 0), // increased
+	}}
+	r := RTTRatiosFrom(res)
+	if len(r.Ratios) != 2 {
+		t.Fatalf("ratios = %v", r.Ratios)
+	}
+	if got := r.FracReduced(); got != 0.5 {
+		t.Errorf("FracReduced = %v", got)
+	}
+	if got := r.FracReducedAboveRTT(150); got != 1.0 {
+		t.Errorf("FracReducedAboveRTT(150) = %v (only the 200ms pair qualifies, and it reduced)", got)
+	}
+}
+
+func TestRTTBinsAndLossBins(t *testing.T) {
+	var res PrevalenceResult
+	// One pair per RTT bin, all improving by 2x.
+	for _, rtt := range []time.Duration{30, 100, 170, 240, 320} {
+		res.Pairs = append(res.Pairs,
+			fakePair(10, 20, rtt*time.Millisecond, rtt*time.Millisecond, 1e-4, 1e-5))
+	}
+	rows := RTTBins(res)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, row := range rows {
+		if row.N != 1 {
+			t.Errorf("bin %d has %d samples", i, row.N)
+		}
+		// Split overlay is 1.2x the plain overlay: ratio = 24/10.
+		if math.Abs(row.MedianRatio-2.4) > 1e-9 {
+			t.Errorf("bin %d median = %v", i, row.MedianRatio)
+		}
+	}
+
+	// Loss bins: zero-loss pair goes to the [0] bin.
+	res2 := PrevalenceResult{Pairs: []core.PairResult{
+		fakePair(10, 20, 100*time.Millisecond, 100*time.Millisecond, 0, 0),
+		fakePair(10, 20, 100*time.Millisecond, 100*time.Millisecond, 0.001, 0),
+		fakePair(10, 20, 100*time.Millisecond, 100*time.Millisecond, 0.004, 0),
+		fakePair(10, 20, 100*time.Millisecond, 100*time.Millisecond, 0.02, 0),
+	}}
+	lossRows := LossBins(res2)
+	if len(lossRows) != 4 {
+		t.Fatalf("loss rows = %d", len(lossRows))
+	}
+	for i, row := range lossRows {
+		if row.N != 1 {
+			t.Errorf("loss bin %d (%s) has %d samples", i, row.Label, row.N)
+		}
+	}
+	if lossRows[0].Label != "[0]" {
+		t.Errorf("first label = %q", lossRows[0].Label)
+	}
+}
+
+func TestScatterSummary(t *testing.T) {
+	points := []ScatterPoint{
+		{DirectMbps: 5, IncreaseRatio: 3},    // slow, doubled
+		{DirectMbps: 8, IncreaseRatio: 0.5},  // slow, improved
+		{DirectMbps: 9, IncreaseRatio: -0.2}, // slow, worse
+		{DirectMbps: 50, IncreaseRatio: 4},   // fast (ignored)
+	}
+	s := SummarizeScatter(points)
+	if s.SlowN != 3 {
+		t.Fatalf("SlowN = %d", s.SlowN)
+	}
+	if math.Abs(s.FracSlowImproved-2.0/3) > 1e-9 {
+		t.Errorf("FracSlowImproved = %v", s.FracSlowImproved)
+	}
+	if math.Abs(s.FracSlowDoubled-1.0/3) > 1e-9 {
+		t.Errorf("FracSlowDoubled = %v", s.FracSlowDoubled)
+	}
+}
+
+func TestMinOverlayNodes(t *testing.T) {
+	p := LongitudinalPath{
+		DirectMbps: []float64{1, 1, 1},
+		DCs:        []string{"A", "B"},
+		OverlayMbps: map[string][]float64{
+			"A": {10, 2, 10},
+			"B": {2, 10, 2},
+		},
+	}
+	// Neither DC alone reaches the per-sample max everywhere; both needed.
+	if got := minOverlayNodes(p, 5); got != 2 {
+		t.Errorf("minOverlayNodes = %d, want 2", got)
+	}
+	// With one dominant DC, one suffices.
+	p.OverlayMbps["A"] = []float64{10, 10, 10}
+	p.OverlayMbps["B"] = []float64{2, 2, 2}
+	if got := minOverlayNodes(p, 5); got != 1 {
+		t.Errorf("minOverlayNodes = %d, want 1", got)
+	}
+}
+
+func TestBestSubsetFactor(t *testing.T) {
+	p := LongitudinalPath{
+		DirectMbps: []float64{10, 10},
+		DCs:        []string{"A", "B"},
+		OverlayMbps: map[string][]float64{
+			"A": {40, 20},
+			"B": {20, 40},
+		},
+	}
+	// k=1: best single subset averages (40+20)/2=30 -> factor 3.
+	if got := bestSubsetFactor(p, 1); math.Abs(got-3) > 1e-9 {
+		t.Errorf("k=1 factor = %v, want 3", got)
+	}
+	// k=2: max per sample is 40 -> factor 4.
+	if got := bestSubsetFactor(p, 2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("k=2 factor = %v, want 4", got)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	tests := []struct {
+		ratio float64
+		want  DiversityClass
+	}{
+		{2.0, ClassAbove125}, {1.26, ClassAbove125},
+		{1.1, Class100To125}, {1.25, Class100To125},
+		{0.8, Class050To100}, {1.0, Class050To100},
+		{0.5, ClassBelow050}, {0.1, ClassBelow050},
+	}
+	for _, tt := range tests {
+		if got := classFor(tt.ratio); got != tt.want {
+			t.Errorf("classFor(%v) = %v, want %v", tt.ratio, got, tt.want)
+		}
+	}
+}
+
+// TestSmallScaleSuite: the reduced workload exercises every runner quickly
+// (this is the test the -short mode relies on for coverage).
+func TestSmallScaleSuite(t *testing.T) {
+	s, err := NewSuite(7, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunControlled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs measured")
+	}
+	if res.PathsSampled != len(res.Pairs)*5 {
+		t.Errorf("paths sampled = %d for %d pairs", res.PathsSampled, len(res.Pairs))
+	}
+	cfg := DefaultLongitudinalConfig()
+	cfg.TopPaths = 4
+	cfg.Samples = 5
+	long, err := s.RunLongitudinal(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Rows) != 4 {
+		t.Errorf("longitudinal rows = %d", len(long.Rows))
+	}
+	d := s.Diversity(res)
+	if len(d.Scores[ClassAll]) == 0 {
+		t.Error("no diversity scores")
+	}
+	if _, err := C45Thresholds(res); err != nil {
+		t.Errorf("c4.5: %v", err)
+	}
+
+	ms, err := NewMPTCPSuite(7, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := DefaultMPTCPConfig()
+	mcfg.WorstPaths = 3
+	mcfg.Iterations = 2
+	mres, err := ms.RunMPTCP(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mres.Rows) != 3 {
+		t.Errorf("mptcp rows = %d", len(mres.Rows))
+	}
+}
+
+func TestLongitudinalConfigValidation(t *testing.T) {
+	s, err := NewSuite(7, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunLongitudinal(PrevalenceResult{}, LongitudinalConfig{}); err == nil {
+		t.Error("expected error for zero config")
+	}
+}

@@ -1,0 +1,214 @@
+// Package measure provides iperf-style throughput measurement and
+// application-level RTT probing over real sockets — the measurement side
+// of the real-socket overlay stack (the simulated experiments use
+// internal/tcpsim's instrumentation instead).
+//
+// Protocol: the client sends a one-byte mode ('S' sink, 'E' echo). In sink
+// mode the server discards everything it reads. In echo mode the server
+// echoes fixed-size 16-byte probe frames back.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Mode bytes of the measurement protocol.
+const (
+	modeSink = 'S'
+	modeEcho = 'E'
+)
+
+// probeSize is the echo frame size.
+const probeSize = 16
+
+// Server is a measurement responder (sink + echo).
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("measure: server closed")
+
+// NewServer wraps a listener as a measurement server.
+func NewServer(ln net.Listener) *Server {
+	return &Server{ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts and handles measurement connections until Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("measure: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				_ = conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the server and closes live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	var mode [1]byte
+	if _, err := io.ReadFull(conn, mode[:]); err != nil {
+		return
+	}
+	switch mode[0] {
+	case modeSink:
+		buf := make([]byte, 256<<10)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	case modeEcho:
+		frame := make([]byte, probeSize)
+		for {
+			if _, err := io.ReadFull(conn, frame); err != nil {
+				return
+			}
+			if _, err := conn.Write(frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Result is one throughput measurement.
+type Result struct {
+	// Mbps is the achieved goodput in megabits per second.
+	Mbps float64
+	// Bytes is the payload volume sent.
+	Bytes int64
+	// Elapsed is the wall-clock measurement duration.
+	Elapsed time.Duration
+}
+
+// Throughput runs an iperf-style timed upload over an established
+// connection (which may pass through relays or a multipath channel):
+// random-ish payload is written for the duration and the goodput reported.
+func Throughput(conn io.Writer, duration time.Duration, chunkBytes int) (Result, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = 128 << 10
+	}
+	buf := make([]byte, chunkBytes)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	start := time.Now()
+	var sent int64
+	for time.Since(start) < duration {
+		n, err := conn.Write(buf)
+		sent += int64(n)
+		if err != nil {
+			return Result{}, fmt.Errorf("measure: throughput write: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Mbps:    float64(sent) * 8 / elapsed.Seconds() / 1e6,
+		Bytes:   sent,
+		Elapsed: elapsed,
+	}, nil
+}
+
+// SinkClient prefixes the sink-mode byte on a connection to a
+// measure.Server, returning the same connection ready for Throughput.
+func SinkClient(conn net.Conn) (net.Conn, error) {
+	if _, err := conn.Write([]byte{modeSink}); err != nil {
+		return nil, fmt.Errorf("measure: sink preamble: %w", err)
+	}
+	return conn, nil
+}
+
+// RTTStats summarizes an RTT probe run.
+type RTTStats struct {
+	Min, Avg, Max time.Duration
+	Samples       int
+}
+
+// ProbeRTT measures application-level round-trip time with count echo
+// probes over a connection to a measure.Server.
+func ProbeRTT(conn net.Conn, count int) (RTTStats, error) {
+	if count <= 0 {
+		count = 10
+	}
+	if _, err := conn.Write([]byte{modeEcho}); err != nil {
+		return RTTStats{}, fmt.Errorf("measure: echo preamble: %w", err)
+	}
+	frame := make([]byte, probeSize)
+	var stats RTTStats
+	var total time.Duration
+	for i := 0; i < count; i++ {
+		frame[0] = byte(i)
+		start := time.Now()
+		if _, err := conn.Write(frame); err != nil {
+			return RTTStats{}, fmt.Errorf("measure: probe write: %w", err)
+		}
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return RTTStats{}, fmt.Errorf("measure: probe read: %w", err)
+		}
+		rtt := time.Since(start)
+		total += rtt
+		if stats.Samples == 0 || rtt < stats.Min {
+			stats.Min = rtt
+		}
+		if rtt > stats.Max {
+			stats.Max = rtt
+		}
+		stats.Samples++
+	}
+	stats.Avg = total / time.Duration(stats.Samples)
+	return stats, nil
+}

@@ -1,0 +1,118 @@
+package measure
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln)
+	go s.Serve() //nolint:errcheck // closed in cleanup
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestThroughputSink(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := SinkClient(conn); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Throughput(conn, 200*time.Millisecond, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mbps <= 0 || res.Bytes <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Elapsed < 200*time.Millisecond {
+		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestProbeRTT(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stats, err := ProbeRTT(conn, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples != 5 {
+		t.Errorf("samples = %d", stats.Samples)
+	}
+	if stats.Min <= 0 || stats.Avg < stats.Min || stats.Max < stats.Avg {
+		t.Errorf("ordering broken: %+v", stats)
+	}
+	// Loopback RTT should be far below a millisecond-scale bound.
+	if stats.Avg > 100*time.Millisecond {
+		t.Errorf("loopback RTT = %v", stats.Avg)
+	}
+}
+
+func TestProbeRTTDefaultCount(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stats, err := ProbeRTT(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples != 10 {
+		t.Errorf("default samples = %d, want 10", stats.Samples)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(ln)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != ErrServerClosed {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}
+
+func TestUnknownModeIgnored(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'?'}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("unknown mode should close the connection")
+	}
+}

@@ -1,0 +1,189 @@
+package mptcpsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cronets/internal/netsim"
+	"cronets/internal/tcpsim"
+)
+
+func path(rttMs, loss, availMbps float64) tcpsim.PathFunc {
+	return tcpsim.StaticPath(netsim.Metrics{
+		BaseRTT:        time.Duration(rttMs * float64(time.Millisecond)),
+		LossRate:       loss,
+		BottleneckMbps: availMbps,
+		AvailableMbps:  availMbps,
+		Hops:           4,
+	})
+}
+
+func run(t *testing.T, paths []tcpsim.PathFunc, cfg Config) Result {
+	t.Helper()
+	res, err := Run(rand.New(rand.NewSource(1)), paths, cfg, tcpsim.Spec{Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func singlePath(t *testing.T, p tcpsim.PathFunc, alg tcpsim.Algorithm) float64 {
+	t.Helper()
+	cfg := tcpsim.DefaultConfig()
+	cfg.Alg = alg
+	res, err := tcpsim.Run(rand.New(rand.NewSource(1)), p, cfg,
+		tcpsim.Spec{Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.ThroughputMbps
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(rand.New(rand.NewSource(1)), nil, DefaultConfig(), tcpsim.Spec{Duration: time.Second}); err == nil {
+		t.Error("expected error for no paths")
+	}
+	if _, err := Run(rand.New(rand.NewSource(1)), []tcpsim.PathFunc{path(50, 0, 100)},
+		DefaultConfig(), tcpsim.Spec{}); err == nil {
+		t.Error("expected error for missing duration")
+	}
+}
+
+// TestCoupledTracksBestPath: with OLIA/LIA coupling, the aggregate should
+// be at least the best single path's throughput and well below the sum of
+// all paths.
+func TestCoupledTracksBestPath(t *testing.T) {
+	paths := []tcpsim.PathFunc{
+		path(200, 2e-3, 100), // bad
+		path(120, 1e-4, 100), // best
+		path(250, 1e-3, 100), // mediocre
+	}
+	// LIA/OLIA target the throughput of a single Reno-style TCP flow on
+	// the best available path; compare against that baseline.
+	best := singlePath(t, paths[1], tcpsim.Reno)
+	for _, coupling := range []Coupling{LIA, OLIA} {
+		cfg := DefaultConfig()
+		cfg.Coupling = coupling
+		cfg.Flow.Alg = tcpsim.Reno
+		res := run(t, paths, cfg)
+		if res.TotalThroughputMbps < best*0.8 {
+			t.Errorf("%v: total %v below best path %v", coupling, res.TotalThroughputMbps, best)
+		}
+		if res.TotalThroughputMbps > 100 {
+			t.Errorf("%v: total %v exceeds NIC", coupling, res.TotalThroughputMbps)
+		}
+	}
+}
+
+// TestUncoupledAggregates: uncoupled subflows should sum well past the
+// best single path, up to the shared NIC.
+func TestUncoupledAggregates(t *testing.T) {
+	paths := []tcpsim.PathFunc{
+		path(100, 1e-4, 100),
+		path(120, 1e-4, 100),
+		path(140, 1e-4, 100),
+	}
+	best := singlePath(t, paths[0], tcpsim.Cubic)
+	cfg := DefaultConfig()
+	cfg.Coupling = Uncoupled
+	cfg.Flow.Alg = tcpsim.Cubic
+	cfg.ConnRwndPkts = 0
+	res := run(t, paths, cfg)
+	if res.TotalThroughputMbps < best*1.3 {
+		t.Errorf("uncoupled total %v should clearly exceed best path %v", res.TotalThroughputMbps, best)
+	}
+	if res.TotalThroughputMbps > 105 {
+		t.Errorf("uncoupled total %v exceeds the 100 Mbps NIC", res.TotalThroughputMbps)
+	}
+}
+
+// TestNICSharing: the shared access cap binds the aggregate.
+func TestNICSharing(t *testing.T) {
+	paths := []tcpsim.PathFunc{
+		path(30, 0, 1000), path(40, 0, 1000), path(50, 0, 1000),
+	}
+	cfg := DefaultConfig()
+	cfg.Coupling = Uncoupled
+	cfg.Flow.Alg = tcpsim.Cubic
+	cfg.SharedAccessMbps = 50
+	cfg.ConnRwndPkts = 0
+	res := run(t, paths, cfg)
+	if res.TotalThroughputMbps > 60 {
+		t.Errorf("total %v exceeds 50 Mbps shared NIC", res.TotalThroughputMbps)
+	}
+}
+
+// TestFailover: a path that dies (100% loss) must not sink the connection;
+// the survivors carry it.
+func TestFailover(t *testing.T) {
+	good := path(80, 1e-4, 100)
+	dead := tcpsim.StaticPath(netsim.Metrics{
+		BaseRTT:        80 * time.Millisecond,
+		LossRate:       1.0,
+		BottleneckMbps: 100,
+		AvailableMbps:  100,
+	})
+	res := run(t, []tcpsim.PathFunc{good, dead}, DefaultConfig())
+	aloneRes := singlePath(t, good, tcpsim.Cubic)
+	if res.TotalThroughputMbps < aloneRes*0.6 {
+		t.Errorf("with one dead path: %v, good path alone: %v", res.TotalThroughputMbps, aloneRes)
+	}
+	if res.SubflowMbps[1] > 0.5 {
+		t.Errorf("dead subflow carried %v Mbps", res.SubflowMbps[1])
+	}
+}
+
+// TestConnRwndCapsAggregate: the connection-level receive window bounds
+// total in-flight data across subflows.
+func TestConnRwndCapsAggregate(t *testing.T) {
+	paths := []tcpsim.PathFunc{path(100, 0, 1000), path(100, 0, 1000)}
+	cfg := DefaultConfig()
+	cfg.Coupling = Uncoupled
+	cfg.Flow.Alg = tcpsim.Cubic
+	cfg.SharedAccessMbps = 0
+	cfg.ConnRwndPkts = 200 // 200 pkts at 100ms -> ~23 Mbps
+	res := run(t, paths, cfg)
+	if res.TotalThroughputMbps > 30 {
+		t.Errorf("total %v exceeds the connection rwnd cap (~23 Mbps)", res.TotalThroughputMbps)
+	}
+}
+
+func TestSubflowBreakdownSums(t *testing.T) {
+	paths := []tcpsim.PathFunc{path(60, 1e-4, 100), path(90, 1e-4, 100)}
+	res := run(t, paths, DefaultConfig())
+	var sum float64
+	for _, s := range res.SubflowMbps {
+		if s < 0 {
+			t.Fatalf("negative subflow rate: %v", res.SubflowMbps)
+		}
+		sum += s
+	}
+	if diff := sum - res.TotalThroughputMbps; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("subflow sum %v != total %v", sum, res.TotalThroughputMbps)
+	}
+}
+
+func TestCouplingString(t *testing.T) {
+	if LIA.String() != "lia" || OLIA.String() != "olia" || Uncoupled.String() != "uncoupled" {
+		t.Error("coupling names wrong")
+	}
+	if Coupling(99).String() == "" {
+		t.Error("unknown coupling should still render")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	paths := []tcpsim.PathFunc{path(60, 1e-4, 100), path(90, 2e-4, 100)}
+	a, err := Run(rand.New(rand.NewSource(7)), paths, DefaultConfig(), tcpsim.Spec{Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rand.New(rand.NewSource(7)), paths, DefaultConfig(), tcpsim.Spec{Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalThroughputMbps != b.TotalThroughputMbps {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,383 @@
+// Package multipath implements the stream channel behind the paper's
+// MPTCP-proxy deployment model (Section VI-A): application data entering
+// one proxy is striped across N subflows — one per path, e.g. the direct
+// path plus one through each overlay node — with connection-level sequence
+// numbers, and reassembled in order at the far proxy. Scheduling is
+// pull-based: each subflow's writer takes the next segment when its socket
+// can absorb it, so faster paths naturally carry more traffic, and a dead
+// subflow's unacknowledged segments are retransmitted on the survivors —
+// the failover property MPTCP provides transparently.
+package multipath
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame types.
+const (
+	frameData byte = 1
+	// frameAck carries the connection-level cumulative in-order count
+	// (frees retransmission state, gates Close).
+	frameAck byte = 2
+	frameFin byte = 3
+	// frameSubAck carries the count of segments received on the subflow
+	// it arrives on, regardless of ordering — the analog of subflow-level
+	// TCP ACKs, which keep a fast subflow sending while the reassembly
+	// point waits on a slow one.
+	frameSubAck byte = 4
+)
+
+// frame header: type(1) + seq(8) + length(4).
+const headerSize = 13
+
+// Config parameterizes a multipath channel. The zero value is usable;
+// defaults are filled in.
+type Config struct {
+	// MaxSegBytes is the striping segment size (default 32 KiB).
+	MaxSegBytes int
+	// WindowSegs bounds unacknowledged segments (default 256); Write
+	// blocks when the window is full.
+	WindowSegs int
+	// AckEvery controls how many in-order segments the receiver delivers
+	// between cumulative ACKs (default 4).
+	AckEvery int
+	// SubflowInflight caps unacknowledged segments per subflow (default
+	// 8). Without it a slow subflow's writer pulls unbounded work into
+	// kernel buffers and head-of-line blocks the reassembly window.
+	SubflowInflight int
+	// CloseTimeout bounds Close's wait for final ACKs (default 30 s).
+	CloseTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxSegBytes <= 0 {
+		c.MaxSegBytes = 32 << 10
+	}
+	if c.WindowSegs <= 0 {
+		c.WindowSegs = 256
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 4
+	}
+	if c.SubflowInflight <= 0 {
+		c.SubflowInflight = 8
+	}
+	if c.CloseTimeout <= 0 {
+		c.CloseTimeout = 30 * time.Second
+	}
+}
+
+// Errors.
+var (
+	// ErrAllSubflowsDead is returned when no subflow remains to carry
+	// unacknowledged data.
+	ErrAllSubflowsDead = errors.New("multipath: all subflows dead")
+	// ErrSenderClosed is returned by Write after Close.
+	ErrSenderClosed = errors.New("multipath: sender closed")
+)
+
+// segment is one striped unit awaiting acknowledgment.
+type segment struct {
+	seq  uint64
+	data []byte
+}
+
+// Sender stripes a byte stream across subflows. It implements
+// io.WriteCloser. Safe for one writer goroutine.
+type Sender struct {
+	cfg   Config
+	conns []net.Conn
+	// wmu serializes writes on each subflow so a FIN cannot interleave
+	// with a data frame's header/body pair.
+	wmu []sync.Mutex
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	nextSeq    uint64
+	cumAcked   uint64              // all seq < cumAcked are acknowledged
+	pending    []*segment          // not yet assigned to a subflow
+	inflight   map[uint64]*segment // assigned, unacked
+	owner      map[uint64]int      // seq -> subflow index
+	sentBy     []uint64            // segments written per subflow
+	subAckedBy []uint64            // segments sub-acked per subflow
+	alive      []bool
+	aliveN     int
+	closed     bool
+	finSent    bool
+	deadErr    error
+	wg         sync.WaitGroup
+}
+
+// NewSender builds the sending side over the given subflow connections
+// and starts its per-subflow workers.
+func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("multipath: need at least one subflow")
+	}
+	cfg.applyDefaults()
+	s := &Sender{
+		cfg:        cfg,
+		conns:      conns,
+		wmu:        make([]sync.Mutex, len(conns)),
+		inflight:   make(map[uint64]*segment),
+		owner:      make(map[uint64]int),
+		sentBy:     make([]uint64, len(conns)),
+		subAckedBy: make([]uint64, len(conns)),
+		alive:      make([]bool, len(conns)),
+		aliveN:     len(conns),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for i := range conns {
+		s.wg.Add(2)
+		go s.writeLoop(i)
+		go s.ackLoop(i)
+	}
+	return s, nil
+}
+
+// Write stripes p across the subflows, blocking while the unacknowledged
+// window is full. It retains no reference to p.
+func (s *Sender) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > s.cfg.MaxSegBytes {
+			n = s.cfg.MaxSegBytes
+		}
+		seg := &segment{data: append([]byte(nil), p[:n]...)}
+		s.mu.Lock()
+		for !s.closed && s.deadErr == nil &&
+			len(s.pending)+len(s.inflight) >= s.cfg.WindowSegs {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return written, ErrSenderClosed
+		}
+		if s.deadErr != nil {
+			err := s.deadErr
+			s.mu.Unlock()
+			return written, err
+		}
+		seg.seq = s.nextSeq
+		s.nextSeq++
+		s.pending = append(s.pending, seg)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		p = p[n:]
+		written += n
+	}
+	return written, nil
+}
+
+// Close flushes remaining data, waits for all acknowledgments (bounded by
+// CloseTimeout), sends FIN, and closes the subflows.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	finSeq := s.nextSeq
+	s.cond.Broadcast()
+	deadline := time.Now().Add(s.cfg.CloseTimeout)
+	for s.cumAcked < finSeq && s.deadErr == nil && time.Now().Before(deadline) {
+		s.waitWithTimeout(50 * time.Millisecond)
+	}
+	err := s.deadErr
+	if err == nil && s.cumAcked < finSeq {
+		err = fmt.Errorf("multipath: close timed out with %d segments unacked", finSeq-s.cumAcked)
+	}
+	s.finSent = true
+	s.mu.Unlock()
+
+	// Send FIN on every alive subflow (receivers tolerate duplicates).
+	fin := make([]byte, headerSize)
+	fin[0] = frameFin
+	binary.BigEndian.PutUint64(fin[1:9], finSeq)
+	for i, c := range s.conns {
+		s.mu.Lock()
+		ok := s.alive[i]
+		s.mu.Unlock()
+		if ok {
+			s.wmu[i].Lock()
+			_, _ = c.Write(fin)
+			s.wmu[i].Unlock()
+		}
+	}
+	for _, c := range s.conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}
+	// Give receivers a moment to drain, then close for real.
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// waitWithTimeout waits on the cond var for at most d. Caller holds s.mu.
+func (s *Sender) waitWithTimeout(d time.Duration) {
+	t := time.AfterFunc(d, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer t.Stop()
+	s.cond.Wait()
+}
+
+// writeLoop pulls segments and writes them on subflow i until the channel
+// shuts down or the subflow dies.
+func (s *Sender) writeLoop(i int) {
+	defer s.wg.Done()
+	hdr := make([]byte, headerSize)
+	for {
+		s.mu.Lock()
+		for (len(s.pending) == 0 || s.inflightLocked(i) >= s.cfg.SubflowInflight) &&
+			!s.doneLocked() && s.alive[i] {
+			s.cond.Wait()
+		}
+		if (s.doneLocked() && len(s.pending) == 0) || !s.alive[i] {
+			s.mu.Unlock()
+			return
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		seg := s.pending[0]
+		s.pending = s.pending[1:]
+		s.inflight[seg.seq] = seg
+		s.owner[seg.seq] = i
+		s.sentBy[i]++
+		s.mu.Unlock()
+
+		hdr[0] = frameData
+		binary.BigEndian.PutUint64(hdr[1:9], seg.seq)
+		binary.BigEndian.PutUint32(hdr[9:13], uint32(len(seg.data)))
+		s.wmu[i].Lock()
+		_, err := s.conns[i].Write(hdr)
+		if err == nil {
+			_, err = s.conns[i].Write(seg.data)
+		}
+		s.wmu[i].Unlock()
+		if err != nil {
+			s.subflowDied(i)
+			return
+		}
+	}
+}
+
+// doneLocked reports whether the sender has been closed and fully acked.
+func (s *Sender) doneLocked() bool {
+	return (s.closed && s.cumAcked >= s.nextSeq) || s.deadErr != nil || s.finSent
+}
+
+// inflightLocked returns the subflow's unacknowledged segment count.
+// Caller holds s.mu.
+func (s *Sender) inflightLocked(i int) int {
+	return int(s.sentBy[i] - s.subAckedBy[i])
+}
+
+// ackLoop reads cumulative ACKs arriving on subflow i.
+func (s *Sender) ackLoop(i int) {
+	defer s.wg.Done()
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(s.conns[i], hdr); err != nil {
+			s.subflowDied(i)
+			return
+		}
+		if hdr[0] != frameAck && hdr[0] != frameSubAck {
+			s.subflowDied(i)
+			return
+		}
+		value := binary.BigEndian.Uint64(hdr[1:9])
+		s.mu.Lock()
+		switch hdr[0] {
+		case frameAck:
+			if value > s.cumAcked {
+				for seq := s.cumAcked; seq < value; seq++ {
+					delete(s.inflight, seq)
+					delete(s.owner, seq)
+				}
+				s.cumAcked = value
+				s.cond.Broadcast()
+			}
+		case frameSubAck:
+			if value > s.subAckedBy[i] {
+				s.subAckedBy[i] = value
+				s.cond.Broadcast()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// subflowDied marks subflow i dead and requeues its unacknowledged
+// segments for retransmission on the survivors.
+func (s *Sender) subflowDied(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.alive[i] {
+		return
+	}
+	s.alive[i] = false
+	s.aliveN--
+	var requeue []*segment
+	for seq, owner := range s.owner {
+		if owner != i {
+			continue
+		}
+		if seg, ok := s.inflight[seq]; ok {
+			requeue = append(requeue, seg)
+			delete(s.inflight, seq)
+		}
+		delete(s.owner, seq)
+	}
+	s.sentBy[i] = 0
+	s.subAckedBy[i] = 0
+	// Retransmissions go to the front, lowest sequence first.
+	for a := 0; a < len(requeue); a++ {
+		for b := a + 1; b < len(requeue); b++ {
+			if requeue[b].seq < requeue[a].seq {
+				requeue[a], requeue[b] = requeue[b], requeue[a]
+			}
+		}
+	}
+	s.pending = append(requeue, s.pending...)
+	if s.aliveN == 0 && (len(s.pending) > 0 || len(s.inflight) > 0 || !s.closed) {
+		s.deadErr = ErrAllSubflowsDead
+	}
+	s.cond.Broadcast()
+}
+
+// CumAcked returns the count of contiguously acknowledged segments.
+func (s *Sender) CumAcked() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cumAcked
+}
+
+// AliveSubflows returns how many subflows are still usable.
+func (s *Sender) AliveSubflows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aliveN
+}

@@ -1,0 +1,222 @@
+package multipath
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Receiver reassembles a multipath stream. It implements io.Reader; Read
+// returns io.EOF after the FIN's sequence is fully delivered.
+type Receiver struct {
+	cfg   Config
+	conns []net.Conn
+	// wmu serializes ACK writes per subflow.
+	wmu []sync.Mutex
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	reorder   map[uint64][]byte
+	recvBy    []uint64 // segments received per subflow (for sub-acks)
+	expected  uint64   // next in-order sequence to deliver
+	delivered []byte   // in-order bytes awaiting Read
+	finSeq    uint64
+	finSeen   bool
+	sinceAck  int
+	deadN     int
+	failed    error
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewReceiver builds the receiving side over the subflow connections and
+// starts its per-subflow readers.
+func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("multipath: need at least one subflow")
+	}
+	cfg.applyDefaults()
+	r := &Receiver{
+		cfg:     cfg,
+		conns:   conns,
+		wmu:     make([]sync.Mutex, len(conns)),
+		reorder: make(map[uint64][]byte),
+		recvBy:  make([]uint64, len(conns)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := range conns {
+		r.wg.Add(1)
+		go r.readLoop(i)
+	}
+	return r, nil
+}
+
+// Read returns reassembled, in-order bytes.
+func (r *Receiver) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.delivered) == 0 {
+		if r.finSeen && r.expected >= r.finSeq {
+			return 0, io.EOF
+		}
+		if r.failed != nil {
+			return 0, r.failed
+		}
+		if r.closed {
+			return 0, net.ErrClosed
+		}
+		r.cond.Wait()
+	}
+	n := copy(p, r.delivered)
+	r.delivered = r.delivered[n:]
+	return n, nil
+}
+
+// Close tears the receiver down.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	for _, c := range r.conns {
+		_ = c.Close()
+	}
+	r.wg.Wait()
+	return nil
+}
+
+// readLoop consumes frames from subflow i.
+func (r *Receiver) readLoop(i int) {
+	defer r.wg.Done()
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(r.conns[i], hdr); err != nil {
+			r.subflowDied(err)
+			return
+		}
+		switch hdr[0] {
+		case frameData:
+			seq := binary.BigEndian.Uint64(hdr[1:9])
+			length := binary.BigEndian.Uint32(hdr[9:13])
+			data := make([]byte, length)
+			if _, err := io.ReadFull(r.conns[i], data); err != nil {
+				r.subflowDied(err)
+				return
+			}
+			r.ingest(i, seq, data)
+		case frameFin:
+			seq := binary.BigEndian.Uint64(hdr[1:9])
+			r.mu.Lock()
+			r.finSeen = true
+			r.finSeq = seq
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			// Final ACK so the sender's Close completes promptly.
+			r.sendAck(i)
+		default:
+			r.subflowDied(errors.New("multipath: unexpected frame type"))
+			return
+		}
+	}
+}
+
+// ingest stores a segment, advances the in-order point, and acks: a
+// subflow-level ack immediately (it keeps the subflow's window moving) and
+// a connection-level cumulative ack every AckEvery deliveries.
+func (r *Receiver) ingest(i int, seq uint64, data []byte) {
+	r.mu.Lock()
+	r.recvBy[i]++
+	subCount := r.recvBy[i]
+	if seq >= r.expected {
+		if _, dup := r.reorder[seq]; !dup {
+			r.reorder[seq] = data
+		}
+	}
+	advanced := false
+	for {
+		d, ok := r.reorder[r.expected]
+		if !ok {
+			break
+		}
+		delete(r.reorder, r.expected)
+		r.delivered = append(r.delivered, d...)
+		r.expected++
+		r.sinceAck++
+		advanced = true
+	}
+	// Ack on cadence, and additionally whenever the reorder buffer drains
+	// completely — the tail of a transfer would otherwise never be
+	// cumulatively acknowledged and the sender's Close would hang.
+	needAck := r.sinceAck >= r.cfg.AckEvery || (advanced && len(r.reorder) == 0)
+	if needAck {
+		r.sinceAck = 0
+	}
+	if advanced {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	r.sendSubAck(i, subCount)
+	if needAck {
+		r.sendAck(i)
+	}
+}
+
+// sendSubAck reports how many segments have arrived on subflow i, on that
+// subflow.
+func (r *Receiver) sendSubAck(i int, count uint64) {
+	ack := make([]byte, headerSize)
+	ack[0] = frameSubAck
+	binary.BigEndian.PutUint64(ack[1:9], count)
+	r.wmu[i].Lock()
+	_, _ = r.conns[i].Write(ack)
+	r.wmu[i].Unlock()
+}
+
+// sendAck emits a cumulative ACK on subflow i (falling back to any other
+// subflow if that write fails).
+func (r *Receiver) sendAck(i int) {
+	r.mu.Lock()
+	cum := r.expected
+	r.mu.Unlock()
+	ack := make([]byte, headerSize)
+	ack[0] = frameAck
+	binary.BigEndian.PutUint64(ack[1:9], cum)
+	r.wmu[i].Lock()
+	_, err := r.conns[i].Write(ack)
+	r.wmu[i].Unlock()
+	if err == nil {
+		return
+	}
+	for j, c := range r.conns {
+		if j == i {
+			continue
+		}
+		r.wmu[j].Lock()
+		_, werr := c.Write(ack)
+		r.wmu[j].Unlock()
+		if werr == nil {
+			return
+		}
+	}
+}
+
+// subflowDied records a reader failure; the stream fails only when every
+// subflow is gone and the FIN has not been satisfied.
+func (r *Receiver) subflowDied(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deadN++
+	if r.deadN >= len(r.conns) && !(r.finSeen && r.expected >= r.finSeq) {
+		if r.failed == nil {
+			r.failed = ErrAllSubflowsDead
+		}
+		_ = err
+	}
+	r.cond.Broadcast()
+}

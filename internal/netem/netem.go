@@ -1,0 +1,183 @@
+// Package netem provides a network-emulation TCP proxy for tests and
+// examples: per-direction one-way latency, jitter, and rate limiting over
+// real sockets, standing in for the wide-area path conditions (long RTTs,
+// thin links) that the paper's overlays route around. It shapes the byte
+// stream; packet loss is exercised at the simulation layer (internal/
+// tcpsim) where TCP dynamics are modeled.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Impairment describes one direction's shaping.
+type Impairment struct {
+	// Latency is the added one-way delay.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each chunk's delay.
+	Jitter time.Duration
+	// RateMbps caps the direction's throughput (0 = unlimited).
+	RateMbps float64
+}
+
+// Config shapes both directions of a proxied connection.
+type Config struct {
+	// Up shapes client -> target; Down shapes target -> client.
+	Up, Down Impairment
+	// ChunkBytes is the shaping granularity (default 16 KiB). Smaller
+	// chunks emulate latency more faithfully at more CPU cost.
+	ChunkBytes int
+	// Seed drives jitter; 0 uses a fixed default.
+	Seed int64
+}
+
+// Proxy is a shaping TCP proxy with a fixed target.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrProxyClosed is returned by Serve after Close.
+var ErrProxyClosed = errors.New("netem: closed")
+
+// New creates a shaping proxy listening on ln and forwarding to target.
+func New(ln net.Listener, target string, cfg Config) *Proxy {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 16 << 10
+	}
+	return &Proxy{cfg: cfg, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// Serve accepts and shapes connections until Close.
+func (p *Proxy) Serve() error {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return ErrProxyClosed
+			}
+			return fmt.Errorf("netem: accept: %w", err)
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// Close stops the proxy and closes live connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) handle(down net.Conn) {
+	defer down.Close()
+	up, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.conns[down] = struct{}{}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, down)
+		delete(p.conns, up)
+		p.mu.Unlock()
+	}()
+
+	seed := p.cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	done := make(chan struct{}, 2)
+	go func() {
+		shapeCopy(up, down, p.cfg.Up, p.cfg.ChunkBytes, rand.New(rand.NewSource(seed)))
+		if tc, ok := up.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		shapeCopy(down, up, p.cfg.Down, p.cfg.ChunkBytes, rand.New(rand.NewSource(seed+1)))
+		if tc, ok := down.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// shapeCopy copies src to dst applying the impairment.
+func shapeCopy(dst io.Writer, src io.Reader, imp Impairment, chunk int, rng *rand.Rand) {
+	buf := make([]byte, chunk)
+	var budget time.Time // rate-limit pacing horizon
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			delay := imp.Latency
+			if imp.Jitter > 0 {
+				delay += time.Duration(rng.Int63n(int64(imp.Jitter)))
+			}
+			if imp.RateMbps > 0 {
+				cost := time.Duration(float64(n*8) / (imp.RateMbps * 1e6) * float64(time.Second))
+				now := time.Now()
+				if budget.Before(now) {
+					budget = now
+				}
+				budget = budget.Add(cost)
+				if wait := time.Until(budget); wait > 0 {
+					time.Sleep(wait)
+				}
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln
+}
+
+func startProxy(t *testing.T, target string, cfg Config) *Proxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(ln, target, cfg)
+	go p.Serve() //nolint:errcheck // closed in cleanup
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func TestPassThrough(t *testing.T) {
+	echo := echoServer(t)
+	p := startProxy(t, echo.Addr().String(), Config{})
+	conn, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := "unimpaired"
+	if _, err := io.WriteString(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != msg {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestLatencyAdded(t *testing.T) {
+	echo := echoServer(t)
+	p := startProxy(t, echo.Addr().String(), Config{
+		Up:   Impairment{Latency: 30 * time.Millisecond},
+		Down: Impairment{Latency: 30 * time.Millisecond},
+	})
+	conn, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("ping")
+	buf := make([]byte, len(msg))
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 55*time.Millisecond {
+		t.Errorf("RTT = %v, want >= ~60ms with 30ms each way", rtt)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	echo := echoServer(t)
+	p := startProxy(t, echo.Addr().String(), Config{
+		Up: Impairment{RateMbps: 20},
+	})
+	conn, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send 2 MB upstream; at 20 Mbps that takes ~0.8 s.
+	const total = 2 << 20
+	go func() {
+		chunk := make([]byte, 64<<10)
+		sent := 0
+		for sent < total {
+			n, err := conn.Write(chunk)
+			if err != nil {
+				return
+			}
+			sent += n
+		}
+	}()
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	mbps := float64(total) * 8 / elapsed.Seconds() / 1e6
+	if mbps > 26 {
+		t.Errorf("measured %v Mbps through a 20 Mbps shaper", mbps)
+	}
+	// The cap is the contract; the floor only guards against a stuck
+	// shaper and must tolerate heavily loaded CI machines, where the
+	// sleep-based pacing overshoots.
+	if mbps < 1 {
+		t.Errorf("measured %v Mbps, shaper appears stuck", mbps)
+	}
+}
+
+func TestCloseUnblocksServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(ln, "127.0.0.1:1", Config{})
+	done := make(chan error, 1)
+	go func() { done <- p.Serve() }()
+	time.Sleep(20 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != ErrProxyClosed {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+}
+
+func TestDeadTargetDropsClient(t *testing.T) {
+	p := startProxy(t, "127.0.0.1:1", Config{})
+	conn, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("connection to dead target should close")
+	}
+}

@@ -1,0 +1,174 @@
+// Package placement answers the question the paper defers to future work
+// in Section VII-A: given a budget of k overlay nodes, which data centers
+// should a CRONets customer rent? The objective — the aggregate best-path
+// throughput over the customer's site pairs, where each pair uses the best
+// of the direct path and the chosen overlays — is monotone submodular
+// (adding a node never hurts, and helps less the more nodes are already
+// chosen), so the classic greedy algorithm carries the (1 - 1/e)
+// approximation guarantee; Exact is provided for small instances and for
+// validating Greedy in tests.
+package placement
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PairSamples is one site pair's measurements: the direct-path throughput
+// and the overlay throughput through each candidate data center.
+type PairSamples struct {
+	// Name identifies the pair (diagnostics only).
+	Name string
+	// DirectMbps is the default-path throughput.
+	DirectMbps float64
+	// OverlayMbps maps candidate DC city -> achieved overlay throughput.
+	OverlayMbps map[string]float64
+}
+
+// best returns the pair's throughput when the chosen set of DCs (plus the
+// direct path) is available.
+func (p PairSamples) best(chosen map[string]bool) float64 {
+	best := p.DirectMbps
+	for dc, thr := range p.OverlayMbps {
+		if chosen[dc] && thr > best {
+			best = thr
+		}
+	}
+	return best
+}
+
+// Objective is the aggregate throughput across pairs for a chosen DC set.
+func Objective(pairs []PairSamples, chosen []string) float64 {
+	set := make(map[string]bool, len(chosen))
+	for _, dc := range chosen {
+		set[dc] = true
+	}
+	var sum float64
+	for _, p := range pairs {
+		sum += p.best(set)
+	}
+	return sum
+}
+
+// Candidates returns the sorted union of candidate DCs across the pairs.
+func Candidates(pairs []PairSamples) []string {
+	seen := make(map[string]bool)
+	for _, p := range pairs {
+		for dc := range p.OverlayMbps {
+			seen[dc] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for dc := range seen {
+		out = append(out, dc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrNoPairs is returned when there is nothing to optimize over.
+var ErrNoPairs = errors.New("placement: no pairs")
+
+// Greedy selects up to k data centers by repeatedly adding the candidate
+// with the largest marginal gain in Objective. Ties break on the
+// lexicographically smallest city, making the result deterministic. It
+// stops early when no candidate adds value.
+func Greedy(pairs []PairSamples, k int) ([]string, error) {
+	if len(pairs) == 0 {
+		return nil, ErrNoPairs
+	}
+	cands := Candidates(pairs)
+	chosen := make([]string, 0, k)
+	chosenSet := make(map[string]bool, k)
+	current := Objective(pairs, nil)
+	for len(chosen) < k && len(chosen) < len(cands) {
+		bestDC := ""
+		bestVal := current
+		for _, dc := range cands {
+			if chosenSet[dc] {
+				continue
+			}
+			chosenSet[dc] = true
+			v := objectiveSet(pairs, chosenSet)
+			chosenSet[dc] = false
+			if v > bestVal+1e-12 || (bestDC != "" && v > bestVal-1e-12 && dc < bestDC) {
+				bestDC, bestVal = dc, v
+			}
+		}
+		if bestDC == "" {
+			break
+		}
+		chosen = append(chosen, bestDC)
+		chosenSet[bestDC] = true
+		current = bestVal
+	}
+	return chosen, nil
+}
+
+// Exact enumerates every k-subset and returns the best (for validation and
+// small candidate sets; cost is C(n, k)).
+func Exact(pairs []PairSamples, k int) ([]string, error) {
+	if len(pairs) == 0 {
+		return nil, ErrNoPairs
+	}
+	cands := Candidates(pairs)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var best []string
+	bestVal := math.Inf(-1)
+	subset := make([]string, 0, k)
+	var walk func(start int)
+	walk = func(start int) {
+		if len(subset) == k {
+			if v := Objective(pairs, subset); v > bestVal {
+				bestVal = v
+				best = append([]string(nil), subset...)
+			}
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			subset = append(subset, cands[i])
+			walk(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	walk(0)
+	sort.Strings(best)
+	return best, nil
+}
+
+func objectiveSet(pairs []PairSamples, set map[string]bool) float64 {
+	var sum float64
+	for _, p := range pairs {
+		sum += p.best(set)
+	}
+	return sum
+}
+
+// Coverage reports, for a chosen set, the fraction of pairs whose best
+// available path is within (1 - tolerance) of what the full candidate set
+// would give them — the Figure 7 question generalized to a shared
+// deployment.
+func Coverage(pairs []PairSamples, chosen []string, tolerance float64) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	all := Candidates(pairs)
+	allSet := make(map[string]bool, len(all))
+	for _, dc := range all {
+		allSet[dc] = true
+	}
+	set := make(map[string]bool, len(chosen))
+	for _, dc := range chosen {
+		set[dc] = true
+	}
+	covered := 0
+	for _, p := range pairs {
+		if p.best(set) >= p.best(allSet)*(1-tolerance) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(pairs))
+}

@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func pair(name string, direct float64, overlays map[string]float64) PairSamples {
+	return PairSamples{Name: name, DirectMbps: direct, OverlayMbps: overlays}
+}
+
+func TestGreedyBasics(t *testing.T) {
+	pairs := []PairSamples{
+		pair("a", 10, map[string]float64{"X": 50, "Y": 20}),
+		pair("b", 10, map[string]float64{"X": 15, "Y": 60}),
+		pair("c", 10, map[string]float64{"X": 12, "Y": 11}),
+	}
+	got, err := Greedy(pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y gives 20+60+11 = 91; X gives 50+15+12 = 77. Y wins.
+	if len(got) != 1 || got[0] != "Y" {
+		t.Errorf("Greedy(1) = %v, want [Y]", got)
+	}
+	got2, err := Greedy(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 2 {
+		t.Errorf("Greedy(2) = %v", got2)
+	}
+}
+
+func TestGreedyStopsWhenNoGain(t *testing.T) {
+	pairs := []PairSamples{
+		pair("a", 100, map[string]float64{"X": 10, "Y": 20}),
+	}
+	got, err := Greedy(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Greedy should pick nothing when the direct path dominates, got %v", got)
+	}
+}
+
+func TestGreedyErrNoPairs(t *testing.T) {
+	if _, err := Greedy(nil, 2); !errors.Is(err, ErrNoPairs) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Exact(nil, 2); !errors.Is(err, ErrNoPairs) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExactMatchesBruteForceObjective(t *testing.T) {
+	pairs := []PairSamples{
+		pair("a", 5, map[string]float64{"X": 50, "Y": 20, "Z": 30}),
+		pair("b", 5, map[string]float64{"X": 10, "Y": 60, "Z": 30}),
+	}
+	got, err := Exact(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {X, Y} gives 50+60 = 110; any Z-set is worse.
+	if len(got) != 2 || got[0] != "X" || got[1] != "Y" {
+		t.Errorf("Exact = %v, want [X Y]", got)
+	}
+}
+
+// TestGreedyNearOptimal: greedy must achieve at least (1 - 1/e) of the
+// exact optimum on random instances (submodularity guarantee); in practice
+// it is usually optimal or near-optimal.
+func TestGreedyNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nPairs := 2 + rng.Intn(8)
+		nDCs := 2 + rng.Intn(5)
+		var pairs []PairSamples
+		for i := 0; i < nPairs; i++ {
+			ov := make(map[string]float64, nDCs)
+			for d := 0; d < nDCs; d++ {
+				ov[fmt.Sprintf("DC%d", d)] = rng.Float64() * 100
+			}
+			pairs = append(pairs, pair(fmt.Sprintf("p%d", i), rng.Float64()*50, ov))
+		}
+		k := 1 + rng.Intn(nDCs)
+		g, err := Greedy(pairs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Exact(pairs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, ev := Objective(pairs, g), Objective(pairs, e)
+		if gv < ev*(1-1/2.718281828)-1e-9 {
+			t.Fatalf("greedy %v=%.1f below guarantee vs exact %v=%.1f", g, gv, e, ev)
+		}
+	}
+}
+
+// TestObjectiveMonotone: adding a DC never decreases the objective.
+func TestObjectiveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		var pairs []PairSamples
+		for i := 0; i < 5; i++ {
+			pairs = append(pairs, pair(fmt.Sprintf("p%d", i), rng.Float64()*50, map[string]float64{
+				"A": rng.Float64() * 100, "B": rng.Float64() * 100, "C": rng.Float64() * 100,
+			}))
+		}
+		base := Objective(pairs, []string{"A"})
+		more := Objective(pairs, []string{"A", "B"})
+		if more < base-1e-12 {
+			t.Fatal("objective decreased when adding a DC")
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	pairs := []PairSamples{
+		pair("a", 10, map[string]float64{"X": 50, "Y": 20}),
+		pair("b", 10, map[string]float64{"X": 15, "Y": 60}),
+	}
+	if got := Coverage(pairs, []string{"X", "Y"}, 0); got != 1 {
+		t.Errorf("full set coverage = %v", got)
+	}
+	// X alone covers pair a exactly but pair b only at 15 vs 60.
+	if got := Coverage(pairs, []string{"X"}, 0.05); got != 0.5 {
+		t.Errorf("partial coverage = %v, want 0.5", got)
+	}
+	if got := Coverage(nil, nil, 0); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestCandidatesSortedUnion(t *testing.T) {
+	pairs := []PairSamples{
+		pair("a", 1, map[string]float64{"Z": 1, "A": 1}),
+		pair("b", 1, map[string]float64{"M": 1, "A": 1}),
+	}
+	got := Candidates(pairs)
+	want := []string{"A", "M", "Z"}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}

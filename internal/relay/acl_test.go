@@ -1,0 +1,125 @@
+package relay
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestACLNilAllowsAll(t *testing.T) {
+	var a *ACL
+	if !a.Allow("8.8.8.8:53") {
+		t.Error("nil ACL should allow everything")
+	}
+}
+
+func TestNewACLValidation(t *testing.T) {
+	if _, err := NewACL(nil, nil); err == nil {
+		t.Error("empty ACL should be rejected")
+	}
+	if _, err := NewACL([]string{"not-a-cidr"}, nil); err == nil {
+		t.Error("bad CIDR should be rejected")
+	}
+}
+
+func TestACLPrefixAndPort(t *testing.T) {
+	a, err := NewACL([]string{"10.0.0.0/8", "192.0.2.0/24"}, []uint16{443, 9100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		target string
+		want   bool
+	}{
+		{"10.1.2.3:443", true},
+		{"192.0.2.7:9100", true},
+		{"10.1.2.3:80", false},     // port not allowed
+		{"203.0.113.5:443", false}, // prefix not allowed
+		{"example.com:443", false}, // hostname cannot be verified
+		{"10.1.2.3", false},        // no port
+		{"[2001:db8::1]:443", false},
+	}
+	for _, tt := range tests {
+		if got := a.Allow(tt.target); got != tt.want {
+			t.Errorf("Allow(%q) = %v, want %v", tt.target, got, tt.want)
+		}
+	}
+}
+
+func TestACLPortsOnly(t *testing.T) {
+	a, err := NewACL(nil, []uint16{22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allow("198.51.100.9:22") {
+		t.Error("port-only ACL should allow any address on 22")
+	}
+	if !a.Allow("corp.example:22") {
+		t.Error("port-only ACL has no prefix rules; hostnames are fine")
+	}
+	if a.Allow("198.51.100.9:23") {
+		t.Error("port 23 should be denied")
+	}
+}
+
+func TestACLAddPrefix(t *testing.T) {
+	a, err := NewACL([]string{"10.0.0.0/8"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Allow("172.16.0.1:80") {
+		t.Fatal("172.16/12 should be denied initially")
+	}
+	if err := a.AddPrefix("172.16.0.0/12"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allow("172.16.0.1:80") {
+		t.Error("172.16/12 should be allowed after AddPrefix")
+	}
+	if err := a.AddPrefix("nope"); err == nil {
+		t.Error("bad prefix should be rejected")
+	}
+}
+
+// TestRelayEnforcesACL: a CONNECT to a forbidden target is refused before
+// any upstream dial.
+func TestRelayEnforcesACL(t *testing.T) {
+	echo := echoServer(t)
+	acl, err := NewACL([]string{"203.0.113.0/24"}, nil) // does not cover loopback
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := startRelay(t, Config{ACL: acl})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = DialVia(ctx, nil, r.Addr().String(), echo.Addr().String())
+	if err == nil {
+		t.Fatal("forbidden target should be refused")
+	}
+	if !strings.Contains(err.Error(), "forbidden") {
+		t.Errorf("err = %v, want forbidden", err)
+	}
+	if r.Stats().Errors.Load() == 0 {
+		t.Error("error counter not incremented")
+	}
+}
+
+func TestRelayACLAllowsPermittedTarget(t *testing.T) {
+	echo := echoServer(t)
+	acl, err := NewACL([]string{"127.0.0.0/8"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := startRelay(t, Config{ACL: acl})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := DialVia(ctx, nil, r.Addr().String(), echo.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "permitted"); got != "permitted" {
+		t.Errorf("echo = %q", got)
+	}
+}

@@ -1,0 +1,366 @@
+// Package relay implements the overlay node's stream-level services over
+// real sockets: a fixed-target TCP forwarder and a split-TCP proxy with a
+// one-line CONNECT handshake. The split proxy is the userspace equivalent
+// of the paper's split-overlay configuration: it terminates the client's
+// TCP connection and opens its own toward the destination, so each half
+// runs an independent congestion-control loop over roughly half the RTT.
+package relay
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dialer abstracts net.Dialer for tests.
+type Dialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// Config holds relay parameters. The zero value is usable; defaults are
+// filled in by New.
+type Config struct {
+	// Target is the fixed destination for forward mode ("" enables the
+	// CONNECT handshake instead).
+	Target string
+	// DialTimeout bounds upstream dials (default 10 s).
+	DialTimeout time.Duration
+	// IdleTimeout closes connections with no traffic in either direction
+	// (default 5 min; 0 disables).
+	IdleTimeout time.Duration
+	// BufferBytes sizes each direction's copy buffer (default 256 KiB) —
+	// the relay buffer of a split-TCP proxy.
+	BufferBytes int
+	// MaxConns caps concurrent relayed connections (default 1024).
+	MaxConns int
+	// ACL restricts CONNECT-mode targets (nil allows everything; a relay
+	// without an ACL is an open proxy).
+	ACL *ACL
+	// Dialer overrides the upstream dialer (tests).
+	Dialer Dialer
+}
+
+// Stats are cumulative relay counters, safe to read concurrently.
+type Stats struct {
+	// Accepted counts accepted downstream connections.
+	Accepted atomic.Int64
+	// Active is the number of connections currently being relayed.
+	Active atomic.Int64
+	// BytesUp and BytesDown count relayed bytes (client->target and back).
+	BytesUp   atomic.Int64
+	BytesDown atomic.Int64
+	// Errors counts failed relay attempts.
+	Errors atomic.Int64
+}
+
+// Relay is a running overlay relay listening for downstream connections.
+type Relay struct {
+	cfg   Config
+	ln    net.Listener
+	stats *Stats
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrRelayClosed is returned by Serve after Close.
+var ErrRelayClosed = errors.New("relay: closed")
+
+// New creates a relay on the listener. Close the relay to release it.
+func New(ln net.Listener, cfg Config) *Relay {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout < 0 {
+		cfg.IdleTimeout = 0
+	} else if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 256 << 10
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{}
+	}
+	return &Relay{
+		cfg:   cfg,
+		ln:    ln,
+		stats: &Stats{},
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr returns the relay's listen address.
+func (r *Relay) Addr() net.Addr { return r.ln.Addr() }
+
+// Stats returns the relay's counters.
+func (r *Relay) Stats() *Stats { return r.stats }
+
+// Serve accepts and relays connections until Close. It always returns a
+// non-nil error (ErrRelayClosed after a clean shutdown).
+func (r *Relay) Serve() error {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return ErrRelayClosed
+			}
+			return fmt.Errorf("relay: accept: %w", err)
+		}
+		if int(r.stats.Active.Load()) >= r.cfg.MaxConns {
+			_ = conn.Close()
+			r.stats.Errors.Add(1)
+			continue
+		}
+		r.track(conn)
+		r.stats.Accepted.Add(1)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.untrack(conn)
+			if err := r.handle(conn); err != nil {
+				r.stats.Errors.Add(1)
+			}
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for c := range r.conns {
+		_ = c.Close()
+	}
+	r.mu.Unlock()
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Relay) track(c net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conns[c] = struct{}{}
+}
+
+func (r *Relay) untrack(c net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.conns, c)
+	_ = c.Close()
+}
+
+// handle relays one downstream connection.
+func (r *Relay) handle(down net.Conn) error {
+	r.stats.Active.Add(1)
+	defer r.stats.Active.Add(-1)
+
+	target := r.cfg.Target
+	var br *bufio.Reader
+	if target == "" {
+		// CONNECT handshake: "CONNECT host:port\n" -> "OK\n".
+		br = bufio.NewReader(down)
+		_ = down.SetReadDeadline(time.Now().Add(r.cfg.DialTimeout))
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("relay: read connect line: %w", err)
+		}
+		_ = down.SetReadDeadline(time.Time{})
+		t, err := ParseConnect(line)
+		if err != nil {
+			_, _ = io.WriteString(down, "ERR bad request\n")
+			return err
+		}
+		if !r.cfg.ACL.Allow(t) {
+			_, _ = io.WriteString(down, "ERR forbidden\n")
+			return fmt.Errorf("relay: ACL forbids %s", t)
+		}
+		target = t
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+	up, err := r.cfg.Dialer.DialContext(ctx, "tcp", target)
+	cancel()
+	if err != nil {
+		if br != nil {
+			_, _ = io.WriteString(down, "ERR dial failed\n")
+		}
+		return fmt.Errorf("relay: dial %s: %w", target, err)
+	}
+	defer up.Close()
+	r.track(up)
+	defer r.untrack(up)
+
+	if br != nil {
+		if _, err := io.WriteString(down, "OK\n"); err != nil {
+			return fmt.Errorf("relay: write connect reply: %w", err)
+		}
+	}
+
+	var downReader io.Reader = down
+	if br != nil && br.Buffered() > 0 {
+		downReader = io.MultiReader(io.LimitReader(br, int64(br.Buffered())), down)
+	}
+	return r.pipe(down, downReader, up)
+}
+
+// pipe copies both directions until either side closes or the idle timeout
+// fires.
+func (r *Relay) pipe(down net.Conn, downReader io.Reader, up net.Conn) error {
+	errc := make(chan error, 1)
+	idle := newIdleWatch(r.cfg.IdleTimeout, func() {
+		_ = down.Close()
+		_ = up.Close()
+	})
+	defer idle.stop()
+
+	copyDir := func(dst net.Conn, src io.Reader, counter *atomic.Int64) {
+		buf := make([]byte, r.cfg.BufferBytes)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				counter.Add(int64(n))
+				idle.touch()
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					errc <- werr
+					return
+				}
+			}
+			if err != nil {
+				// Half-close toward the destination so in-flight data
+				// drains before teardown.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					_ = tc.CloseWrite()
+				}
+				errc <- err
+				return
+			}
+		}
+	}
+	go copyDir(up, downReader, &r.stats.BytesUp)
+	go copyDir(down, up, &r.stats.BytesDown)
+
+	err := <-errc
+	// First direction finished; closing both ends unblocks the second.
+	_ = down.Close()
+	_ = up.Close()
+	<-errc
+	if err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// ParseConnect parses a "CONNECT host:port" request line.
+func ParseConnect(line string) (string, error) {
+	line = strings.TrimSpace(line)
+	const prefix = "CONNECT "
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("relay: malformed request %q", line)
+	}
+	target := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	host, port, err := net.SplitHostPort(target)
+	if err != nil || host == "" || port == "" {
+		return "", fmt.Errorf("relay: bad target %q", target)
+	}
+	return target, nil
+}
+
+// DialVia connects to target through a CONNECT-mode relay and completes
+// the handshake, returning the relayed connection.
+func DialVia(ctx context.Context, d Dialer, relayAddr, target string) (net.Conn, error) {
+	if d == nil {
+		d = &net.Dialer{}
+	}
+	conn, err := d.DialContext(ctx, "tcp", relayAddr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: dial relay %s: %w", relayAddr, err)
+	}
+	if _, err := fmt.Fprintf(conn, "CONNECT %s\n", target); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("relay: send connect: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetReadDeadline(dl)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("relay: read connect reply: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if strings.TrimSpace(line) != "OK" {
+		_ = conn.Close()
+		return nil, fmt.Errorf("relay: connect refused: %s", strings.TrimSpace(line))
+	}
+	if br.Buffered() > 0 {
+		return &bufferedConn{Conn: conn, r: br}, nil
+	}
+	return conn, nil
+}
+
+// bufferedConn keeps bytes the handshake reader over-read.
+type bufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// idleWatch fires a callback when no traffic is seen for the timeout.
+type idleWatch struct {
+	timeout time.Duration
+	timer   *time.Timer
+	mu      sync.Mutex
+	stopped bool
+}
+
+func newIdleWatch(timeout time.Duration, onIdle func()) *idleWatch {
+	w := &idleWatch{timeout: timeout}
+	if timeout > 0 {
+		w.timer = time.AfterFunc(timeout, onIdle)
+	}
+	return w
+}
+
+func (w *idleWatch) touch() {
+	if w.timer == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.stopped {
+		w.timer.Reset(w.timeout)
+	}
+}
+
+func (w *idleWatch) stop() {
+	if w.timer == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	w.timer.Stop()
+}

@@ -1,0 +1,313 @@
+package relay
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln
+}
+
+func startRelay(t *testing.T, cfg Config) *Relay {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(ln, cfg)
+	go r.Serve() //nolint:errcheck // closed in cleanup
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func roundtrip(t *testing.T, conn net.Conn, msg string) string {
+	t.Helper()
+	if _, err := io.WriteString(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+func TestFixedTargetForward(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{Target: echo.Addr().String()})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "through the overlay"); got != "through the overlay" {
+		t.Errorf("echo = %q", got)
+	}
+	if r.Stats().Accepted.Load() != 1 {
+		t.Errorf("accepted = %d", r.Stats().Accepted.Load())
+	}
+	if r.Stats().BytesUp.Load() == 0 || r.Stats().BytesDown.Load() == 0 {
+		t.Error("byte counters not updated")
+	}
+}
+
+func TestConnectMode(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := DialVia(ctx, nil, r.Addr().String(), echo.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "split tcp hop"); got != "split tcp hop" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestConnectModeBadRequest(t *testing.T) {
+	r := startRelay(t, Config{})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\n"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "ERR") {
+		t.Errorf("reply = %q, want ERR", line)
+	}
+}
+
+func TestConnectModeDialFailure(t *testing.T) {
+	r := startRelay(t, Config{DialTimeout: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Port 1 on localhost should refuse.
+	_, err := DialVia(ctx, nil, r.Addr().String(), "127.0.0.1:1")
+	if err == nil {
+		t.Fatal("expected dial failure via relay")
+	}
+	if r.Stats().Errors.Load() == 0 {
+		t.Error("error counter not incremented")
+	}
+}
+
+func TestParseConnect(t *testing.T) {
+	tests := []struct {
+		line    string
+		want    string
+		wantErr bool
+	}{
+		{"CONNECT 10.0.0.1:80\n", "10.0.0.1:80", false},
+		{"CONNECT example.com:443", "example.com:443", false},
+		{"CONNECT [::1]:80\n", "[::1]:80", false},
+		{"CONNECT nohost\n", "", true},
+		{"CONNECT :80\n", "", true},
+		{"FETCH 10.0.0.1:80\n", "", true},
+		{"", "", true},
+	}
+	for _, tt := range tests {
+		got, err := ParseConnect(tt.line)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseConnect(%q) err = %v", tt.line, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseConnect(%q) = %q, want %q", tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestMaxConns(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{Target: echo.Addr().String(), MaxConns: 1})
+
+	first, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if got := roundtrip(t, first, "hold"); got != "hold" {
+		t.Fatal("first connection broken")
+	}
+
+	// Second connection should be dropped by the relay.
+	second, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	_ = second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, _ = io.WriteString(second, "x")
+	if _, err := second.Read(buf); err == nil {
+		t.Error("second connection should have been closed")
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{Target: echo.Addr().String(), IdleTimeout: 100 * time.Millisecond})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "warm"); got != "warm" {
+		t.Fatal("initial echo failed")
+	}
+	// Stay idle past the timeout; the relay should cut the connection.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("idle connection not closed")
+	}
+}
+
+func TestCloseUnblocksServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(ln, Config{Target: "127.0.0.1:1"})
+	done := make(chan error, 1)
+	go func() { done <- r.Serve() }()
+	time.Sleep(20 * time.Millisecond)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRelayClosed) {
+			t.Errorf("Serve returned %v, want ErrRelayClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func TestChainedRelays(t *testing.T) {
+	// Two overlay hops in sequence (multi-hop overlay, Section VII-B).
+	echo := echoServer(t)
+	inner := startRelay(t, Config{Target: echo.Addr().String()})
+	outer := startRelay(t, Config{Target: inner.Addr().String()})
+	conn, err := net.Dial("tcp", outer.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "two hops"); got != "two hops" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestDialViaRefused(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := DialVia(ctx, nil, "127.0.0.1:1", "10.0.0.1:80"); err == nil {
+		t.Error("expected error dialing dead relay")
+	}
+}
+
+func TestLargeTransferThroughRelay(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{Target: echo.Addr().String()})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const total = 4 << 20
+	go func() {
+		chunk := make([]byte, 64<<10)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		sent := 0
+		for sent < total {
+			n, err := conn.Write(chunk)
+			if err != nil {
+				return
+			}
+			sent += n
+		}
+	}()
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	got, err := io.ReadAll(io.LimitReader(conn, total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Errorf("read %d bytes, want %d", len(got), total)
+	}
+	for i := 0; i < 64<<10; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestConnectModePipelinedData(t *testing.T) {
+	// Data written immediately after the CONNECT line must not be lost.
+	echo := echoServer(t)
+	r := startRelay(t, Config{})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "CONNECT %s\nearly", echo.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "OK" {
+		t.Fatalf("handshake: %q, %v", line, err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "early" {
+		t.Errorf("pipelined data = %q", buf)
+	}
+}

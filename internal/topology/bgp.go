@@ -1,0 +1,312 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// routeKind records how an AS learned its best route to a destination. The
+// Gao-Rexford preference order is customer > peer > provider.
+type routeKind int
+
+const (
+	routeSelf routeKind = iota + 1
+	routeCustomer
+	routePeer
+	routeProvider
+)
+
+// preference returns a smaller value for more preferred route kinds.
+func (k routeKind) preference() int {
+	switch k {
+	case routeSelf:
+		return 0
+	case routeCustomer:
+		return 1
+	case routePeer:
+		return 2
+	case routeProvider:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// routeEntry is an AS's best route toward a destination. nexts holds every
+// next-hop ASN tied on (kind, length): real BGP breaks such ties per
+// router by IGP distance to the egress (hot-potato), which RouterPath
+// implements; the deterministic single next hop used by ASPath is next.
+type routeEntry struct {
+	next   int // lowest tied next-hop ASN (0 for the destination itself)
+	kind   routeKind
+	length int   // AS-path length in hops
+	nexts  []int // all next hops tied on (kind, length), sorted
+}
+
+// sameClass reports whether two routes tie under BGP selection before the
+// final deterministic tie-break.
+func (a routeEntry) sameClass(b routeEntry) bool {
+	return a.kind.preference() == b.kind.preference() && a.length == b.length
+}
+
+// better reports whether a beats b under BGP-like selection: route kind
+// first, then shorter AS path, then lower next-hop ASN (deterministic
+// tiebreak standing in for router-ID comparison).
+func (a routeEntry) better(b routeEntry) bool {
+	if a.kind.preference() != b.kind.preference() {
+		return a.kind.preference() < b.kind.preference()
+	}
+	if a.length != b.length {
+		return a.length < b.length
+	}
+	return a.next < b.next
+}
+
+// routesFor returns (computing and caching on first use) the best route of
+// every AS toward destination dst, following the Gao-Rexford export rules:
+//
+//   - routes learned from customers are exported to everyone;
+//   - routes learned from peers or providers are exported only to customers.
+//
+// The resulting AS paths are therefore valley-free: an uphill
+// (customer->provider) prefix, at most one peer edge, then a downhill
+// (provider->customer) suffix.
+func (in *Internet) routesFor(dst int) (map[int]routeEntry, error) {
+	if r, ok := in.routes[dst]; ok {
+		return r, nil
+	}
+	if _, ok := in.asIndex[dst]; !ok {
+		return nil, fmt.Errorf("topology: routesFor: no AS %d", dst)
+	}
+	best := make(map[int]routeEntry, len(in.ASes))
+	best[dst] = routeEntry{next: 0, kind: routeSelf, length: 0}
+
+	// consider merges a candidate next hop into the table: strictly better
+	// classes replace; ties on (kind, length) accumulate into nexts (the
+	// hot-potato candidates). It reports whether the class improved.
+	consider := func(asn int, cand routeEntry) bool {
+		old, ok := best[asn]
+		switch {
+		case !ok || betterClass(cand, old):
+			cand.nexts = []int{cand.next}
+			best[asn] = cand
+			return true
+		case old.sameClass(cand):
+			old.nexts = insertSorted(old.nexts, cand.next)
+			if cand.next < old.next {
+				old.next = cand.next
+			}
+			best[asn] = old
+		}
+		return false
+	}
+
+	// Phase 1: customer routes climb provider edges. An AS that reaches dst
+	// through a customer chain prefers the shortest such chain.
+	frontier := []int{dst}
+	for len(frontier) > 0 {
+		var next []int
+		for _, asn := range frontier {
+			cur := best[asn]
+			for _, prov := range in.asIndex[asn].Providers {
+				cand := routeEntry{next: asn, kind: routeCustomer, length: cur.length + 1}
+				if consider(prov, cand) {
+					next = append(next, prov)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Phase 2: ASes holding customer (or self) routes advertise them across
+	// peering edges. Peer routes do not propagate further sideways.
+	type peerCand struct {
+		asn  int
+		cand routeEntry
+	}
+	var peerCands []peerCand
+	for asn, e := range best {
+		if e.kind != routeCustomer && e.kind != routeSelf {
+			continue
+		}
+		for _, peer := range in.asIndex[asn].Peers {
+			peerCands = append(peerCands, peerCand{
+				asn:  peer,
+				cand: routeEntry{next: asn, kind: routePeer, length: e.length + 1},
+			})
+		}
+	}
+	for _, pc := range peerCands {
+		consider(pc.asn, pc.cand)
+	}
+
+	// Phase 3: provider routes descend customer edges. Use a priority queue
+	// on path length so each AS settles on its shortest provider route.
+	pq := &entryQueue{}
+	heap.Init(pq)
+	for asn, e := range best {
+		heap.Push(pq, queued{asn: asn, entry: e})
+	}
+	for pq.Len() > 0 {
+		q, ok := heap.Pop(pq).(queued)
+		if !ok {
+			break
+		}
+		if cur, exists := best[q.asn]; !exists || !cur.sameClass(q.entry) {
+			continue // stale queue entry
+		}
+		for _, cust := range in.asIndex[q.asn].Customers {
+			cand := routeEntry{next: q.asn, kind: routeProvider, length: q.entry.length + 1}
+			if consider(cust, cand) {
+				heap.Push(pq, queued{asn: cust, entry: cand})
+			}
+		}
+	}
+
+	in.routes[dst] = best
+	return best, nil
+}
+
+// betterClass reports whether a's (kind, length) class strictly beats b's.
+func betterClass(a, b routeEntry) bool {
+	if a.kind.preference() != b.kind.preference() {
+		return a.kind.preference() < b.kind.preference()
+	}
+	return a.length < b.length
+}
+
+// insertSorted adds v to a sorted slice without duplicates.
+func insertSorted(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			return xs
+		}
+		if x > v {
+			xs = append(xs, 0)
+			copy(xs[i+1:], xs[i:])
+			xs[i] = v
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+type queued struct {
+	asn   int
+	entry routeEntry
+}
+
+type entryQueue []queued
+
+func (q entryQueue) Len() int { return len(q) }
+func (q entryQueue) Less(i, j int) bool {
+	if q[i].entry.length != q[j].entry.length {
+		return q[i].entry.length < q[j].entry.length
+	}
+	return q[i].asn < q[j].asn
+}
+func (q entryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *entryQueue) Push(x any) {
+	item, ok := x.(queued)
+	if !ok {
+		return
+	}
+	*q = append(*q, item)
+}
+func (q *entryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ASPath returns the AS-level default route from src to dst (inclusive of
+// both), as selected by the valley-free decision process.
+func (in *Internet) ASPath(src, dst int) ([]int, error) {
+	if src == dst {
+		return []int{src}, nil
+	}
+	routes, err := in.routesFor(dst)
+	if err != nil {
+		return nil, err
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		e, ok := routes[cur]
+		if !ok {
+			return nil, fmt.Errorf("topology: AS %d has no route to %d", src, dst)
+		}
+		cur = e.next
+		path = append(path, cur)
+		if len(path) > len(in.ASes)+1 {
+			return nil, fmt.Errorf("topology: routing loop from %d to %d", src, dst)
+		}
+	}
+	return path, nil
+}
+
+// IsValleyFree reports whether the AS path respects Gao-Rexford export
+// rules given the business relationships in the topology: some uphill
+// customer->provider hops, at most one peer hop, then downhill.
+func (in *Internet) IsValleyFree(asPath []int) bool {
+	const (
+		stageUp = iota
+		stageDown
+	)
+	stage := stageUp
+	peersUsed := 0
+	for i := 1; i < len(asPath); i++ {
+		rel, ok := in.relationship(asPath[i-1], asPath[i])
+		if !ok {
+			return false
+		}
+		switch rel {
+		case hopUp:
+			if stage != stageUp || peersUsed > 0 {
+				return false
+			}
+		case hopPeer:
+			peersUsed++
+			if stage != stageUp || peersUsed > 1 {
+				return false
+			}
+			stage = stageDown
+		case hopDown:
+			stage = stageDown
+		}
+	}
+	return true
+}
+
+type hopRel int
+
+const (
+	hopUp   hopRel = iota + 1 // customer -> provider
+	hopDown                   // provider -> customer
+	hopPeer
+)
+
+func (in *Internet) relationship(from, to int) (hopRel, bool) {
+	a, ok := in.asIndex[from]
+	if !ok {
+		return 0, false
+	}
+	for _, p := range a.Providers {
+		if p == to {
+			return hopUp, true
+		}
+	}
+	for _, c := range a.Customers {
+		if c == to {
+			return hopDown, true
+		}
+	}
+	for _, p := range a.Peers {
+		if p == to {
+			return hopPeer, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,876 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cronets/internal/geo"
+	"cronets/internal/netsim"
+)
+
+// Config parameterizes topology generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal seeds produce equal topologies.
+	Seed int64
+
+	// NumTier1 is the number of Tier-1 (transit-free) providers.
+	NumTier1 int
+	// NumTier2 is the number of regional Tier-2 providers.
+	NumTier2 int
+	// ClientStubs and ServerStubs are the number of stub ASes hosting one
+	// client (resp. server) each.
+	ClientStubs int
+	ServerStubs int
+
+	// CloudDCCities names the catalog cities hosting cloud data centers.
+	CloudDCCities []string
+
+	// Core link parameters (Tier-1 backbone and Tier-1 peering). These
+	// links are the congested middle of the Internet. Link quality is
+	// bimodal: with probability CoreHotProb a link is a "hot" bottleneck
+	// (utilization 0.80-0.95, loss log-uniform up to CoreLossMax);
+	// otherwise it is cool (utilization in [CoreUtilMin, CoreUtilMax],
+	// loss log-uniform up to CoreCoolLossMax). The bimodality produces the
+	// paper's polarity: most default paths are fine, a minority cross a
+	// bottleneck and are hugely improvable.
+	CoreCapacityMbps float64
+	CoreHotProb      float64
+	CoreUtilMin      float64
+	CoreUtilMax      float64
+	CoreLossMax      float64
+	CoreCoolLossMax  float64
+	CoreQueueMax     time.Duration
+
+	// Regional (Tier-2) link parameters, with the same hot/cool split.
+	RegionalCapacityMbps float64
+	RegionalHotProb      float64
+	RegionalUtilMin      float64
+	RegionalUtilMax      float64
+	RegionalLossMax      float64
+	RegionalCoolLossMax  float64
+	RegionalQueueMax     time.Duration
+
+	// Access link parameters (stub <-> Tier-2 and host <-> stub router).
+	ClientAccessMbps float64
+	ServerAccessMbps float64
+	AccessUtilMax    float64
+	AccessLossMax    float64
+	AccessQueueMax   time.Duration
+
+	// Cloud parameters.
+	CloudNICMbps         float64       // DC VM virtual NIC (paper: 100 Mbps)
+	CloudBackboneMbps    float64       // private DC-to-DC backbone
+	CloudBackboneUtil    float64       // background load on the backbone
+	CloudBackboneLossMax float64       // heavy-tail loss cap on backbone links
+	CloudPeeringMbps     float64       // IXP peering link capacity
+	CloudPeeringUtil     float64       // background load on peering links
+	CloudLoss            float64       // loss rate on cloud peering/NIC links
+	CloudQueueMax        time.Duration // queueing cap on cloud-owned links
+
+	// RelayOverhead is the per-packet processing delay added by an overlay
+	// node (decapsulation, NAT rewrite, re-encapsulation).
+	RelayOverhead time.Duration
+
+	// Tier2PeerProb is the probability that two same-continent Tier-2 ASes
+	// peer directly at an IXP.
+	Tier2PeerProb float64
+	// StubSecondHomingProb is the probability a stub is multi-homed to a
+	// second provider.
+	StubSecondHomingProb float64
+	// CloudTier2PeerProb is the probability the cloud AS peers with a
+	// Tier-2 AS sharing a continent with one of its DCs (aggressive IXP
+	// peering is a core premise of the paper).
+	CloudTier2PeerProb float64
+}
+
+// DefaultConfig returns the configuration used by the paper-scale
+// experiments. The link parameters are calibrated so that (a) core links are
+// the dominant bottleneck, (b) direct transcontinental paths show the
+// 10-250 ms RTT spread of the paper's Figure 9 bins, and (c) access links
+// rarely bottleneck below the 100 Mbps NIC.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		NumTier1:    8,
+		NumTier2:    24,
+		ClientStubs: 110,
+		ServerStubs: 10,
+		CloudDCCities: []string{
+			"WashingtonDC", "SanJose", "Dallas", "Amsterdam", "Tokyo",
+		},
+
+		CoreCapacityMbps: 40000,
+		CoreHotProb:      0.09,
+		CoreUtilMin:      0.25,
+		CoreUtilMax:      0.65,
+		CoreLossMax:      0.0004,
+		CoreCoolLossMax:  0.001,
+		CoreQueueMax:     110 * time.Millisecond,
+
+		RegionalCapacityMbps: 10000,
+		RegionalHotProb:      0.10,
+		RegionalUtilMin:      0.10,
+		RegionalUtilMax:      0.45,
+		RegionalLossMax:      0.0004,
+		RegionalCoolLossMax:  0.00004,
+		RegionalQueueMax:     25 * time.Millisecond,
+
+		ClientAccessMbps: 100,
+		ServerAccessMbps: 15,
+		AccessUtilMax:    0.25,
+		AccessLossMax:    0.00005,
+		AccessQueueMax:   8 * time.Millisecond,
+
+		CloudNICMbps:         100,
+		CloudBackboneMbps:    40000,
+		CloudBackboneUtil:    0.15,
+		CloudBackboneLossMax: 0.00005,
+		CloudPeeringMbps:     10000,
+		CloudPeeringUtil:     0.15,
+		CloudLoss:            0.000002,
+		CloudQueueMax:        8 * time.Millisecond,
+
+		RelayOverhead: 250 * time.Microsecond,
+
+		Tier2PeerProb:        0.30,
+		StubSecondHomingProb: 0.50,
+		CloudTier2PeerProb:   0.20,
+	}
+}
+
+// Internet is a generated topology: the node/link graph plus the AS-level
+// structure and host inventory needed for routing and experiments.
+type Internet struct {
+	Net *netsim.Network
+	// ASes is indexed by ASN.
+	ASes []*AS
+	// CloudASN is the cloud provider's ASN.
+	CloudASN int
+	// Clients and Servers are the endpoint hosts.
+	Clients []Host
+	Servers []Host
+	// DCs maps a data-center city name to its VM host.
+	DCs map[string]Host
+	// DCOrder lists DC city names in creation order (deterministic).
+	DCOrder []string
+
+	cfg      Config
+	peerings map[asPairKey][]peeringPoint
+	routes   map[int]map[int]routeEntry // dest ASN -> src ASN -> entry
+	asIndex  map[int]*AS
+}
+
+// Config returns the configuration the Internet was generated with.
+func (in *Internet) Config() Config { return in.cfg }
+
+// AS returns the AS with the given ASN.
+func (in *Internet) AS(asn int) (*AS, error) {
+	a, ok := in.asIndex[asn]
+	if !ok {
+		return nil, fmt.Errorf("topology: no AS %d", asn)
+	}
+	return a, nil
+}
+
+// Generate builds an Internet from the configuration.
+func Generate(cfg Config) (*Internet, error) {
+	if cfg.NumTier1 < 2 || cfg.NumTier2 < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 tier-1 and 2 tier-2 ASes, got %d/%d",
+			cfg.NumTier1, cfg.NumTier2)
+	}
+	if len(cfg.CloudDCCities) == 0 {
+		return nil, fmt.Errorf("topology: need at least one cloud DC city")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := &Internet{
+		Net:      netsim.New(),
+		DCs:      make(map[string]Host),
+		cfg:      cfg,
+		peerings: make(map[asPairKey][]peeringPoint),
+		routes:   make(map[int]map[int]routeEntry),
+		asIndex:  make(map[int]*AS),
+	}
+	catalog := geo.Catalog()
+	majors := catalog[:20] // cities big enough to host core PoPs
+
+	// Tier-1 providers: global footprint — at least one PoP per continent
+	// (so inter-AS peering stays local and the long-haul segments live
+	// inside the provider's own backbone, as in real transit networks),
+	// plus extra PoPs in major cities.
+	continentsAll := []string{"NA", "EU", "AS", "SA", "OC"}
+	for i := 0; i < cfg.NumTier1; i++ {
+		a := in.newAS(fmt.Sprintf("T1-%d", i), Tier1)
+		seen := make(map[string]bool)
+		for _, cont := range continentsAll {
+			regional := citiesOn(catalog, cont)
+			for _, city := range pickCities(rng, regional, 1+rng.Intn(2)) {
+				if !seen[city.Name] {
+					seen[city.Name] = true
+					in.addRouter(a, city)
+				}
+			}
+		}
+		for _, city := range pickCities(rng, majors, 4+rng.Intn(3)) {
+			if !seen[city.Name] {
+				seen[city.Name] = true
+				in.addRouter(a, city)
+			}
+		}
+	}
+
+	// Tier-2 providers: regional, 2-5 cities on one continent.
+	continents := []string{"NA", "EU", "AS", "SA", "OC"}
+	for i := 0; i < cfg.NumTier2; i++ {
+		cont := continents[i%len(continents)]
+		regional := citiesOn(catalog, cont)
+		if len(regional) == 0 {
+			continue
+		}
+		a := in.newAS(fmt.Sprintf("T2-%d-%s", i, cont), Tier2)
+		n := 4 + rng.Intn(4)
+		for _, city := range pickCities(rng, regional, n) {
+			in.addRouter(a, city)
+		}
+	}
+
+	// Cloud provider AS with one router + one VM host per DC city.
+	cloud := in.newAS("CloudProvider", TierCloud)
+	in.CloudASN = cloud.ASN
+	for _, cityName := range cfg.CloudDCCities {
+		city, ok := geo.FindLocation(cityName)
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown DC city %q", cityName)
+		}
+		router := in.addRouter(cloud, city)
+		vm := in.Net.AddNode(netsim.Node{
+			Name: "dc-" + cityName, Kind: netsim.KindCloudDC, ASN: cloud.ASN, Loc: city,
+		})
+		// The VM's virtual NIC: the paper's 100 Mbps cap lives here.
+		if err := in.Net.AddLink(netsim.Link{
+			A: vm, B: router,
+			Delay:           200 * time.Microsecond,
+			CapacityMbps:    cfg.CloudNICMbps,
+			BaseLossRate:    cfg.CloudLoss,
+			BaseUtilization: 0.02,
+			MaxQueueDelay:   cfg.CloudQueueMax,
+		}); err != nil {
+			return nil, err
+		}
+		h := Host{Node: vm, Access: router, ASN: cloud.ASN, Loc: city,
+			Role: RoleCloudDC, Name: "dc-" + cityName}
+		in.DCs[cityName] = h
+		in.DCOrder = append(in.DCOrder, cityName)
+	}
+
+	// Intra-AS backbones: full mesh among each AS's routers.
+	for _, a := range in.ASes {
+		if err := in.meshAS(rng, a); err != nil {
+			return nil, err
+		}
+	}
+
+	// Tier-1 clique: every pair of Tier-1 ASes peers.
+	t1s := in.byTier(Tier1)
+	for i := 0; i < len(t1s); i++ {
+		for j := i + 1; j < len(t1s); j++ {
+			if err := in.connectASes(rng, t1s[i], t1s[j], relPeer, linkCore); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Tier-2: customer of 2-3 Tier-1s (regional providers multi-home for
+	// resilience, which is also what gives BGP equally-good routes to
+	// tie-break hot-potato style); peer with same-continent Tier-2s.
+	t2s := in.byTier(Tier2)
+	for _, t2 := range t2s {
+		nProv := 2 + rng.Intn(2)
+		for _, t1 := range pickASes(rng, t1s, nProv) {
+			if err := in.connectASes(rng, t2, t1, relCustomer, linkCore); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < len(t2s); i++ {
+		for j := i + 1; j < len(t2s); j++ {
+			if sameContinent(t2s[i], t2s[j]) && rng.Float64() < cfg.Tier2PeerProb {
+				if err := in.connectASes(rng, t2s[i], t2s[j], relPeer, linkRegional); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Cloud peering: with every Tier-1, and aggressively with Tier-2s that
+	// share a continent with a DC.
+	for _, t1 := range t1s {
+		if err := in.connectASes(rng, cloud, t1, relPeer, linkCloudPeering); err != nil {
+			return nil, err
+		}
+	}
+	for _, t2 := range t2s {
+		if in.cloudSharesContinent(t2) && rng.Float64() < cfg.CloudTier2PeerProb {
+			if err := in.connectASes(rng, cloud, t2, relPeer, linkCloudPeering); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Client and server stubs. Client cities follow the PlanetLab
+	// distribution the paper measured from (Section II-A: 48 Europe, 45
+	// America, 14 Asia, 3 Australia of ~110 nodes) — Europe- and
+	// North-America-heavy with a thin tail elsewhere.
+	clientContinents := []struct {
+		cont   string
+		weight float64
+	}{
+		{"EU", 0.42}, {"NA", 0.38}, {"AS", 0.12}, {"SA", 0.05}, {"OC", 0.03},
+	}
+	for i := 0; i < cfg.ClientStubs; i++ {
+		r := rng.Float64()
+		cont := clientContinents[len(clientContinents)-1].cont
+		for _, cw := range clientContinents {
+			if r < cw.weight {
+				cont = cw.cont
+				break
+			}
+			r -= cw.weight
+		}
+		regional := citiesOn(catalog, cont)
+		city := regional[rng.Intn(len(regional))]
+		h, err := in.addStubHost(rng, fmt.Sprintf("client-%s-%d", city.Name, i),
+			city, RoleClient, cfg.ClientAccessMbps)
+		if err != nil {
+			return nil, err
+		}
+		in.Clients = append(in.Clients, h)
+	}
+	serverCities := []string{
+		"Toronto", "Portland", "Atlanta", "Munich", "Zurich",
+		"Osaka", "Seoul", "Beijing", "NewYork", "Chicago",
+	}
+	for i := 0; i < cfg.ServerStubs; i++ {
+		name := serverCities[i%len(serverCities)]
+		city, ok := geo.FindLocation(name)
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown server city %q", name)
+		}
+		h, err := in.addStubHost(rng, fmt.Sprintf("server-%s-%d", city.Name, i),
+			city, RoleServer, cfg.ServerAccessMbps)
+		if err != nil {
+			return nil, err
+		}
+		in.Servers = append(in.Servers, h)
+	}
+	return in, nil
+}
+
+func (in *Internet) newAS(name string, tier Tier) *AS {
+	a := &AS{ASN: len(in.ASes) + 1, Name: name, Tier: tier}
+	in.ASes = append(in.ASes, a)
+	in.asIndex[a.ASN] = a
+	return a
+}
+
+func (in *Internet) addRouter(a *AS, city geo.Location) netsim.NodeID {
+	id := in.Net.AddNode(netsim.Node{
+		Name: fmt.Sprintf("%s.%s", a.Name, city.Name),
+		Kind: netsim.KindRouter, ASN: a.ASN, Loc: city,
+	})
+	a.Routers = append(a.Routers, id)
+	a.Presence = append(a.Presence, city)
+	return id
+}
+
+// linkClass selects the parameter family for a generated link.
+type linkClass int
+
+const (
+	linkCore linkClass = iota + 1
+	linkRegional
+	linkAccess
+	linkStubUplink
+	linkCloudPeering
+	linkCloudBackbone
+)
+
+// makeLink draws link parameters from the class's configured ranges.
+func (in *Internet) makeLink(rng *rand.Rand, a, b netsim.NodeID, class linkClass) netsim.Link {
+	cfg := in.cfg
+	na, nb := in.Net.MustNode(a), in.Net.MustNode(b)
+	delay := geo.PropagationDelay(na.Loc, nb.Loc)
+	l := netsim.Link{A: a, B: b, Delay: delay}
+	switch class {
+	case linkCore:
+		l.CapacityMbps = cfg.CoreCapacityMbps
+		hot := rng.Float64() < cfg.CoreHotProb
+		if hot {
+			l.BaseUtilization = uniform(rng, 0.80, 0.92)
+			l.BaseLossRate = logUniform(rng, 1e-4, cfg.CoreLossMax)
+		} else {
+			l.BaseUtilization = uniform(rng, cfg.CoreUtilMin, cfg.CoreUtilMax)
+			l.BaseLossRate = logUniform(rng, 1e-6, cfg.CoreCoolLossMax)
+		}
+		l.MaxQueueDelay = cfg.CoreQueueMax
+		// Day-night load swing on ordinary links; chronic bottlenecks are
+		// saturated around the clock, so their badness persists (the
+		// stability behind Figure 6's longitudinal gains).
+		amp := rng.Float64() * 0.03
+		l.DiurnalPhase = rng.Float64()
+		if !hot {
+			l.DiurnalAmplitude = amp
+		}
+	case linkRegional:
+		l.CapacityMbps = cfg.RegionalCapacityMbps
+		hot := rng.Float64() < cfg.RegionalHotProb
+		if hot {
+			l.BaseUtilization = uniform(rng, 0.70, 0.90)
+			l.BaseLossRate = logUniform(rng, 1e-4, cfg.RegionalLossMax)
+		} else {
+			l.BaseUtilization = uniform(rng, cfg.RegionalUtilMin, cfg.RegionalUtilMax)
+			l.BaseLossRate = logUniform(rng, 1e-7, cfg.RegionalCoolLossMax)
+		}
+		l.MaxQueueDelay = cfg.RegionalQueueMax
+		amp := rng.Float64() * 0.02
+		l.DiurnalPhase = rng.Float64()
+		if !hot {
+			l.DiurnalAmplitude = amp
+		}
+	case linkAccess:
+		l.CapacityMbps = cfg.ClientAccessMbps
+		l.BaseUtilization = rng.Float64() * cfg.AccessUtilMax
+		l.BaseLossRate = logUniform(rng, 1e-8, cfg.AccessLossMax)
+		l.MaxQueueDelay = cfg.AccessQueueMax
+	case linkStubUplink:
+		// Stub-to-provider uplinks are provisioned cleanly: the paper's
+		// premise (after Akella et al.) is that bottlenecks live in the
+		// core, not on the first ISP hop.
+		l.CapacityMbps = cfg.RegionalCapacityMbps
+		l.BaseUtilization = uniform(rng, 0.05, 0.35)
+		l.BaseLossRate = logUniform(rng, 1e-7, cfg.AccessLossMax)
+		l.MaxQueueDelay = 10 * time.Millisecond
+	case linkCloudPeering:
+		l.CapacityMbps = cfg.CloudPeeringMbps
+		l.BaseUtilization = rng.Float64() * cfg.CloudPeeringUtil
+		l.BaseLossRate = cfg.CloudLoss
+		l.MaxQueueDelay = cfg.CloudQueueMax
+	case linkCloudBackbone:
+		l.CapacityMbps = cfg.CloudBackboneMbps
+		l.BaseUtilization = cfg.CloudBackboneUtil
+		l.BaseLossRate = logUniform(rng, 1e-7, cfg.CloudBackboneLossMax)
+		l.MaxQueueDelay = cfg.CloudQueueMax
+	}
+	return l
+}
+
+// meshAS builds an AS's internal backbone. All backbones are sparse —
+// each router links to its nearest already-placed router (a spanning
+// tree) plus one extra nearest neighbor for redundancy — so transit
+// traffic hops through intermediate PoPs. For ISPs that traversal
+// accumulates stretch, queueing and bottleneck exposure; the cloud
+// provider's backbone takes the same waypoint hops (as Softlayer's ring
+// topology did) but over clean, well-provisioned links, which is also why
+// overlay paths show up longer in traceroutes than the default paths they
+// beat (the paper's Section V-B hop-count observation).
+func (in *Internet) meshAS(rng *rand.Rand, a *AS) error {
+	class := linkRegional
+	switch a.Tier {
+	case Tier1:
+		class = linkCore
+	case TierCloud:
+		class = linkCloudBackbone
+	}
+	addLink := func(i, j int) error {
+		if _, exists := in.Net.Link(a.Routers[i], a.Routers[j]); exists {
+			return nil
+		}
+		return in.Net.AddLink(in.makeLink(rng, a.Routers[i], a.Routers[j], class))
+	}
+	for i := 1; i < len(a.Routers); i++ {
+		// Spanning link: nearest already-placed router.
+		if j := nearestRouter(a, i, i); j >= 0 {
+			if err := addLink(i, j); err != nil {
+				return fmt.Errorf("topology: backbone %s: %w", a.Name, err)
+			}
+		}
+	}
+	for i := 0; i < len(a.Routers); i++ {
+		// Redundancy link: nearest router overall.
+		if j := nearestRouter(a, i, len(a.Routers)); j >= 0 {
+			if err := addLink(i, j); err != nil {
+				return fmt.Errorf("topology: backbone %s: %w", a.Name, err)
+			}
+		}
+	}
+	if a.Tier == Tier1 && len(a.Routers) > 3 {
+		// Tier-1 backbones are dense: real transit providers run multiple
+		// parallel long-haul crossings, so traversals entering at
+		// different PoPs take genuinely different router sequences. Add a
+		// random extra link per router; without these, every transit
+		// through the AS funnels over one spanning path and overlay
+		// paths lose their router-level diversity (Figure 8).
+		for i := range a.Routers {
+			j := rng.Intn(len(a.Routers))
+			if j == i {
+				continue
+			}
+			if err := addLink(i, j); err != nil {
+				return fmt.Errorf("topology: backbone %s: %w", a.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// nearestRouter returns the index of the router geographically closest to
+// router i among indexes [0, limit) excluding i, or -1 if none.
+func nearestRouter(a *AS, i, limit int) int {
+	best := -1
+	bestDist := 0.0
+	for j := 0; j < limit && j < len(a.Routers); j++ {
+		if j == i {
+			continue
+		}
+		d := geo.DistanceKm(a.Presence[i], a.Presence[j])
+		if best < 0 || d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// relKind is the business relationship direction for connectASes.
+type relKind int
+
+const (
+	relCustomer relKind = iota + 1 // first AS is customer of second
+	relPeer
+)
+
+// connectASes records the business relationship and creates 1-2 physical
+// peering links at the geographically closest presence pairs.
+func (in *Internet) connectASes(rng *rand.Rand, x, y *AS, rel relKind, class linkClass) error {
+	var pairs []peeringPoint
+	if x.Tier == TierCloud || y.Tier == TierCloud {
+		// Aggressive IXP peering: the cloud provider peers near every one
+		// of its data centers, so overlay traffic can enter and exit the
+		// provider network close to the endpoints.
+		cloud, other := x, y
+		if y.Tier == TierCloud {
+			cloud, other = y, x
+		}
+		pairs = perRouterPairs(cloud, other)
+		if cloud != x {
+			for i, p := range pairs {
+				pairs[i] = peeringPoint{a: p.b, b: p.a}
+			}
+		}
+	} else {
+		pairs = sampledRouterPairs(rng, x, y, 2+rng.Intn(2))
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("topology: no router pair between %s and %s", x.Name, y.Name)
+	}
+	// Record the business relationship only once a physical interconnect
+	// exists; BGP must never select an adjacency with no link.
+	switch rel {
+	case relCustomer:
+		x.Providers = append(x.Providers, y.ASN)
+		y.Customers = append(y.Customers, x.ASN)
+	case relPeer:
+		x.Peers = append(x.Peers, y.ASN)
+		y.Peers = append(y.Peers, x.ASN)
+	}
+	key := asPair(x.ASN, y.ASN)
+	for _, p := range pairs {
+		if err := in.Net.AddLink(in.makeLink(rng, p.a, p.b, class)); err != nil {
+			return fmt.Errorf("topology: peer %s-%s: %w", x.Name, y.Name, err)
+		}
+		pp := peeringPoint{a: p.a, b: p.b}
+		if x.ASN > y.ASN {
+			pp = peeringPoint{a: p.b, b: p.a}
+		}
+		in.peerings[key] = append(in.peerings[key], pp)
+	}
+	return nil
+}
+
+// addStubHost creates a single-router stub AS in the city, homes it to the
+// nearest Tier-2 provider(s), and attaches a host via an access link.
+func (in *Internet) addStubHost(rng *rand.Rand, name string, city geo.Location,
+	role HostRole, accessMbps float64) (Host, error) {
+
+	stub := in.newAS("stub-"+name, TierStub)
+	router := in.addRouter(stub, city)
+
+	// Home to the 1-2 nearest Tier-2 providers (same continent preferred).
+	providers := in.nearestTier2(city, 3)
+	if len(providers) == 0 {
+		return Host{}, fmt.Errorf("topology: no tier-2 provider for %s", name)
+	}
+	if err := in.connectASes(rng, stub, providers[0], relCustomer, linkStubUplink); err != nil {
+		return Host{}, err
+	}
+	if len(providers) > 1 && rng.Float64() < in.cfg.StubSecondHomingProb {
+		if err := in.connectASes(rng, stub, providers[1], relCustomer, linkStubUplink); err != nil {
+			return Host{}, err
+		}
+	}
+
+	host := in.Net.AddNode(netsim.Node{
+		Name: name, Kind: netsim.KindHost, ASN: stub.ASN, Loc: city,
+	})
+	access := in.makeLink(rng, host, router, linkAccess)
+	access.CapacityMbps = accessMbps
+	if err := in.Net.AddLink(access); err != nil {
+		return Host{}, err
+	}
+	return Host{Node: host, Access: router, ASN: stub.ASN, Loc: city, Role: role, Name: name}, nil
+}
+
+// nearestTier2 returns up to n Tier-2 ASes ordered by distance of their
+// closest presence to the city.
+func (in *Internet) nearestTier2(city geo.Location, n int) []*AS {
+	type cand struct {
+		as   *AS
+		dist float64
+	}
+	var cands []cand
+	for _, a := range in.byTier(Tier2) {
+		best := -1.0
+		for _, p := range a.Presence {
+			d := geo.DistanceKm(city, p)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best >= 0 {
+			cands = append(cands, cand{a, best})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].as.ASN < cands[j].as.ASN
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]*AS, len(cands))
+	for i, c := range cands {
+		out[i] = c.as
+	}
+	return out
+}
+
+func (in *Internet) byTier(t Tier) []*AS {
+	var out []*AS
+	for _, a := range in.ASes {
+		if a.Tier == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (in *Internet) cloudSharesContinent(a *AS) bool {
+	cloud := in.asIndex[in.CloudASN]
+	for _, cp := range cloud.Presence {
+		for _, p := range a.Presence {
+			if cp.Continent == p.Continent {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// perRouterPairs returns one peering point per cloud router: the nearest
+// router of the other AS, with duplicates removed. Points are oriented with
+// .a on the cloud side.
+func perRouterPairs(cloud, other *AS) []peeringPoint {
+	seen := make(map[peeringPoint]bool)
+	var out []peeringPoint
+	for i, cr := range cloud.Routers {
+		best := -1
+		bestDist := 0.0
+		for j := range other.Routers {
+			d := geo.DistanceKm(cloud.Presence[i], other.Presence[j])
+			if best < 0 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		p := peeringPoint{a: cr, b: other.Routers[best]}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sampledRouterPairs picks n peering points among the 2n+2 geographically
+// closest router pairs: real IXP interconnects cluster near the shortest
+// geographic pairings but are not exactly the minimum, and the spread is
+// what lets paths entering an AS at different points take different
+// internal routes.
+func sampledRouterPairs(rng *rand.Rand, x, y *AS, n int) []peeringPoint {
+	cands := closestRouterPairs(x, y, 2*n+2)
+	if len(cands) <= n {
+		return cands
+	}
+	idx := rng.Perm(len(cands))[:n]
+	sort.Ints(idx)
+	out := make([]peeringPoint, 0, n)
+	for _, i := range idx {
+		out = append(out, cands[i])
+	}
+	return out
+}
+
+// maxPeeringKm bounds how far apart two routers can be and still
+// interconnect directly: peering happens at shared IXPs/metros, so the
+// long-haul distance lives inside AS backbones, never on a peering link.
+// Without this cap, hot-potato early exit would jump continents over a
+// single "peering" hop.
+const maxPeeringKm = 800
+
+// closestRouterPairs returns up to n router pairs between the two ASes,
+// ordered by geographic distance (the natural IXP locations), keeping only
+// co-located pairs when any exist. Points are oriented with .a on x's side.
+func closestRouterPairs(x, y *AS, n int) []peeringPoint {
+	type cand struct {
+		p    peeringPoint
+		dist float64
+	}
+	var cands []cand
+	for i, rx := range x.Routers {
+		for j, ry := range y.Routers {
+			d := geo.DistanceKm(x.Presence[i], y.Presence[j])
+			cands = append(cands, cand{peeringPoint{a: rx, b: ry}, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		if cands[i].p.a != cands[j].p.a {
+			return cands[i].p.a < cands[j].p.a
+		}
+		return cands[i].p.b < cands[j].p.b
+	})
+	// Keep co-located pairs only; if the ASes share no metro, allow the
+	// single closest pair (a rural long-haul interconnect).
+	local := cands
+	for i, c := range cands {
+		if c.dist > maxPeeringKm {
+			local = cands[:i]
+			break
+		}
+	}
+	if len(local) == 0 && len(cands) > 0 {
+		local = cands[:1]
+	}
+	// Spread the interconnects across distinct metros where possible:
+	// peering at two routers of the same IXP adds no path diversity.
+	seenA := make(map[netsim.NodeID]bool)
+	out := make([]peeringPoint, 0, n)
+	for _, c := range local {
+		if len(out) >= n {
+			break
+		}
+		if seenA[c.p.a] {
+			continue
+		}
+		seenA[c.p.a] = true
+		out = append(out, c.p)
+	}
+	for _, c := range local {
+		if len(out) >= n {
+			break
+		}
+		dup := false
+		for _, o := range out {
+			if o == c.p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c.p)
+		}
+	}
+	return out
+}
+
+func pickCities(rng *rand.Rand, from []geo.Location, n int) []geo.Location {
+	idx := rng.Perm(len(from))
+	if n > len(from) {
+		n = len(from)
+	}
+	out := make([]geo.Location, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, from[i])
+	}
+	return out
+}
+
+func pickASes(rng *rand.Rand, from []*AS, n int) []*AS {
+	idx := rng.Perm(len(from))
+	if n > len(from) {
+		n = len(from)
+	}
+	out := make([]*AS, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, from[i])
+	}
+	return out
+}
+
+// sameContinent reports whether the two ASes have presence on a shared
+// continent.
+func sameContinent(a, b *AS) bool {
+	for _, pa := range a.Presence {
+		for _, pb := range b.Presence {
+			if pa.Continent == pb.Continent {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func citiesOn(catalog []geo.Location, continent string) []geo.Location {
+	var out []geo.Location
+	for _, c := range catalog {
+		if c.Continent == continent {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// logUniform draws a value log-uniformly in [lo, hi], the heavy-tailed
+// distribution observed for per-link loss rates: most links are nearly
+// lossless, a few are bad.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}

@@ -1,0 +1,98 @@
+// Package trace implements the traceroute-derived path analyses of the
+// paper's Section V: the diversity score of an overlay path relative to the
+// corresponding default path, the location of shared routers along the
+// default path (three equal segments), and router-level hop-count
+// comparisons.
+//
+// The functions are generic over the hop identity type: node-level
+// analyses pass netsim.NodeID, while the paper-faithful interface-level
+// analyses pass topology.Hop (raw traceroute output identifies routers by
+// inbound interface address, without alias resolution).
+package trace
+
+// DiversityScore returns 1 - |common hops| / |direct path hops|, the
+// paper's Section V-A metric. A score of 1 means the overlay path shares
+// no hop with the direct path; 0 means it contains every hop of the direct
+// path. An empty direct trace yields 0.
+func DiversityScore[T comparable](direct, overlay []T) float64 {
+	if len(direct) == 0 {
+		return 0
+	}
+	inOverlay := make(map[T]bool, len(overlay))
+	for _, r := range overlay {
+		inOverlay[r] = true
+	}
+	common := 0
+	for _, r := range direct {
+		if inOverlay[r] {
+			common++
+		}
+	}
+	return 1 - float64(common)/float64(len(direct))
+}
+
+// SegmentShare reports where the hops common to the direct and overlay
+// paths sit along the direct path, after dividing the direct path into
+// three equal-length segments: the two segments containing the endpoints
+// versus the middle segment. The paper finds 87% of common routers in the
+// end segments, confirming that overlays mostly diverge in the middle
+// (the congested core).
+type SegmentShare struct {
+	// EndCommon is the number of common hops in the first and last
+	// thirds of the direct path.
+	EndCommon int
+	// MiddleCommon is the number of common hops in the middle third.
+	MiddleCommon int
+}
+
+// Total returns the total number of common hops.
+func (s SegmentShare) Total() int { return s.EndCommon + s.MiddleCommon }
+
+// EndFraction returns the fraction of common hops in the end segments,
+// or 0 when there are none.
+func (s SegmentShare) EndFraction() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return float64(s.EndCommon) / float64(s.Total())
+}
+
+// CommonBySegment classifies each hop shared by the direct and overlay
+// traces according to its position on the direct path.
+func CommonBySegment[T comparable](direct, overlay []T) SegmentShare {
+	if len(direct) == 0 {
+		return SegmentShare{}
+	}
+	inOverlay := make(map[T]bool, len(overlay))
+	for _, r := range overlay {
+		inOverlay[r] = true
+	}
+	var out SegmentShare
+	n := len(direct)
+	for i, r := range direct {
+		if !inOverlay[r] {
+			continue
+		}
+		// Fractional position along the path: the middle third is
+		// (1/3, 2/3); a single-hop path counts as an end segment.
+		pos := 0.0
+		if n > 1 {
+			pos = float64(i) / float64(n-1)
+		}
+		if pos > 1.0/3 && pos < 2.0/3 {
+			out.MiddleCommon++
+		} else {
+			out.EndCommon++
+		}
+	}
+	return out
+}
+
+// HopRatio returns the overlay hop count divided by the direct hop count
+// (Section V-B's hop-count analysis), or 0 when the direct trace is empty.
+func HopRatio[T comparable](direct, overlay []T) float64 {
+	if len(direct) == 0 {
+		return 0
+	}
+	return float64(len(overlay)) / float64(len(direct))
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cronets/internal/netsim"
+)
+
+func ids(xs ...int) []netsim.NodeID {
+	out := make([]netsim.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = netsim.NodeID(x)
+	}
+	return out
+}
+
+func TestDiversityScore(t *testing.T) {
+	tests := []struct {
+		name            string
+		direct, overlay []netsim.NodeID
+		want            float64
+	}{
+		{"identical", ids(1, 2, 3), ids(1, 2, 3), 0},
+		{"disjoint", ids(1, 2, 3), ids(4, 5, 6), 1},
+		{"half", ids(1, 2, 3, 4), ids(1, 2, 9, 9), 0.5},
+		{"empty direct", nil, ids(1), 0},
+		{"empty overlay", ids(1, 2), nil, 1},
+		{"superset overlay", ids(1, 2), ids(1, 2, 3, 4), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DiversityScore(tt.direct, tt.overlay); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("DiversityScore = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestDiversityScoreRange: the score is always within [0, 1].
+func TestDiversityScoreRange(t *testing.T) {
+	f := func(direct, overlay []uint8) bool {
+		d := make([]netsim.NodeID, len(direct))
+		for i, x := range direct {
+			d[i] = netsim.NodeID(x)
+		}
+		o := make([]netsim.NodeID, len(overlay))
+		for i, x := range overlay {
+			o[i] = netsim.NodeID(x)
+		}
+		s := DiversityScore(d, o)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonBySegment(t *testing.T) {
+	// Direct path of 9 routers: segments are [0..2], [3..5], [6..8].
+	direct := ids(0, 1, 2, 3, 4, 5, 6, 7, 8)
+	overlay := ids(0, 1, 4, 8, 100)
+	seg := CommonBySegment(direct, overlay)
+	if seg.EndCommon != 3 { // 0, 1 (first third) and 8 (last third)
+		t.Errorf("EndCommon = %d, want 3", seg.EndCommon)
+	}
+	if seg.MiddleCommon != 1 { // 4
+		t.Errorf("MiddleCommon = %d, want 1", seg.MiddleCommon)
+	}
+	if got := seg.EndFraction(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("EndFraction = %v, want 0.75", got)
+	}
+}
+
+func TestCommonBySegmentNoCommon(t *testing.T) {
+	seg := CommonBySegment(ids(1, 2, 3), ids(7, 8))
+	if seg.Total() != 0 || seg.EndFraction() != 0 {
+		t.Errorf("no-common case: %+v", seg)
+	}
+}
+
+func TestCommonBySegmentShortPath(t *testing.T) {
+	// A 2-router path has no middle third; both routers are end-segment.
+	seg := CommonBySegment(ids(1, 2), ids(1, 2))
+	if seg.MiddleCommon != 0 || seg.EndCommon != 2 {
+		t.Errorf("short path: %+v", seg)
+	}
+}
+
+// TestSegmentPartition: every common router is counted exactly once.
+func TestSegmentPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		direct := make([]netsim.NodeID, n)
+		for i := range direct {
+			direct[i] = netsim.NodeID(i)
+		}
+		overlay := make([]netsim.NodeID, 0, n)
+		common := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				overlay = append(overlay, netsim.NodeID(i))
+				common++
+			}
+		}
+		seg := CommonBySegment(direct, overlay)
+		if seg.Total() != common {
+			t.Fatalf("counted %d common, want %d", seg.Total(), common)
+		}
+	}
+}
+
+func TestHopRatio(t *testing.T) {
+	if got := HopRatio(ids(1, 2, 3, 4), ids(1, 2, 3, 4, 5, 6)); got != 1.5 {
+		t.Errorf("HopRatio = %v, want 1.5", got)
+	}
+	if got := HopRatio(nil, ids(1)); got != 0 {
+		t.Errorf("HopRatio with empty direct = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package tunnel implements the userspace analog of the paper's overlay
+// node plumbing: GRE-like packet encapsulation over a byte stream, and the
+// Linux-IP-masquerade-style NAT table an overlay node uses so that return
+// traffic flows back through it without the far endpoint having any tunnel
+// configured (Section II).
+package tunnel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrameSize bounds a single encapsulated packet (64 KiB payload plus
+// header room).
+const MaxFrameSize = 64*1024 + 64
+
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("tunnel: frame too large")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("tunnel: endpoint closed")
+)
+
+// Framer reads and writes length-prefixed frames over a byte stream. It is
+// safe for one concurrent reader and one concurrent writer.
+type Framer struct {
+	rmu sync.Mutex
+	wmu sync.Mutex
+	rw  io.ReadWriter
+
+	rbuf [4]byte
+	wbuf [4]byte
+}
+
+// NewFramer wraps the stream.
+func NewFramer(rw io.ReadWriter) *Framer {
+	return &Framer{rw: rw}
+}
+
+// WriteFrame writes one length-prefixed frame.
+func (f *Framer) WriteFrame(p []byte) error {
+	if len(p) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	binary.BigEndian.PutUint32(f.wbuf[:], uint32(len(p)))
+	if _, err := f.rw.Write(f.wbuf[:]); err != nil {
+		return fmt.Errorf("tunnel: write frame header: %w", err)
+	}
+	if _, err := f.rw.Write(p); err != nil {
+		return fmt.Errorf("tunnel: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame into a freshly allocated buffer.
+func (f *Framer) ReadFrame() ([]byte, error) {
+	f.rmu.Lock()
+	defer f.rmu.Unlock()
+	if _, err := io.ReadFull(f.rw, f.rbuf[:]); err != nil {
+		return nil, fmt.Errorf("tunnel: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(f.rbuf[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f.rw, buf); err != nil {
+		return nil, fmt.Errorf("tunnel: read frame body: %w", err)
+	}
+	return buf, nil
+}
