@@ -1,0 +1,25 @@
+# CRONets reproduction — build/test gates.
+#
+#   make build   compile everything
+#   make test    tier-1 gate: go build ./... && go test ./...
+#   make race    race-detector pass over the full tree
+#   make vet     static checks
+#   make check   all of the above
+
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet test race

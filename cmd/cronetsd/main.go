@@ -7,39 +7,50 @@
 //
 //	cronetsd -listen :9000                      # CONNECT-mode split proxy
 //	cronetsd -listen :9000 -target 10.0.0.2:443 # fixed-target forwarder
+//	cronetsd -listen :9000 -metrics-addr :9090  # + observability endpoints
+//
+// With -metrics-addr set, the node serves /metrics (Prometheus text),
+// /metrics.json (JSON snapshot), /debug/vars (expvar JSON including the
+// registry under "cronets"), /debug/events (flow-event ring), and
+// /healthz.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"cronets/internal/obs"
 	"cronets/internal/relay"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":9000", "address to listen on")
-		target  = flag.String("target", "", "fixed forward target (empty = CONNECT mode)")
-		idle    = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
-		maxConn = flag.Int("max-conns", 1024, "maximum concurrent relayed connections")
-		bufKB   = flag.Int("buffer-kb", 256, "relay buffer per direction in KiB")
-		allow   = flag.String("allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
+		listen      = flag.String("listen", ":9000", "address to listen on")
+		target      = flag.String("target", "", "fixed forward target (empty = CONNECT mode)")
+		idle        = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
+		maxConn     = flag.Int("max-conns", 1024, "maximum concurrent relayed connections")
+		bufKB       = flag.Int("buffer-kb", 256, "relay buffer per direction in KiB")
+		allow       = flag.String("allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz on this address (empty = disabled)")
+		statsEvery  = flag.Duration("stats-interval", 30*time.Second, "period of the stats summary log line (0 = disabled)")
 	)
 	flag.Parse()
-	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow); err != nil {
+	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow, *metricsAddr, *statsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "cronetsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow string) error {
+func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, metricsAddr string, statsEvery time.Duration) error {
 	var acl *relay.ACL
 	if allow != "" {
 		var err error
@@ -48,6 +59,7 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow st
 			return err
 		}
 	}
+	reg := obs.NewRegistry()
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", listen, err)
@@ -58,12 +70,40 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow st
 		MaxConns:    maxConn,
 		BufferBytes: bufKB << 10,
 		ACL:         acl,
+		Obs:         reg,
 	})
 	mode := "split proxy (CONNECT mode)"
 	if target != "" {
 		mode = "forwarder -> " + target
 	}
-	log.Printf("cronetsd listening on %s as %s", r.Addr(), mode)
+	slog.Info("cronetsd listening", "addr", r.Addr().String(), "mode", mode)
+
+	if metricsAddr != "" {
+		msrv, err := serveMetrics(metricsAddr, reg)
+		if err != nil {
+			_ = r.Close()
+			return err
+		}
+		defer msrv.Close()
+		slog.Info("metrics listening", "addr", msrv.addr,
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /healthz")
+	}
+
+	stopSummary := make(chan struct{})
+	if statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logStats(r, "stats")
+				case <-stopSummary:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -71,11 +111,59 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow st
 	go func() { done <- r.Serve() }()
 
 	select {
-	case <-sig:
-		log.Printf("cronetsd shutting down: accepted=%d relayed up/down = %d/%d bytes",
-			r.Stats().Accepted.Load(), r.Stats().BytesUp.Load(), r.Stats().BytesDown.Load())
+	case s := <-sig:
+		close(stopSummary)
+		slog.Info("cronetsd shutting down", "signal", s.String())
+		logStats(r, "final stats")
 		return r.Close()
 	case err := <-done:
+		close(stopSummary)
 		return err
 	}
 }
+
+// logStats emits one slog summary line from the relay's counters.
+func logStats(r *relay.Relay, msg string) {
+	st := r.Stats()
+	slog.Info(msg,
+		"accepted", st.Accepted.Load(),
+		"active", st.Active.Load(),
+		"bytes_up", st.BytesUp.Load(),
+		"bytes_down", st.BytesDown.Load(),
+		"errors", st.Errors.Load(),
+		"rejected", st.Rejected.Load(),
+	)
+}
+
+// metricsServer is the observability HTTP listener.
+type metricsServer struct {
+	addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// serveMetrics starts the observability endpoints on addr.
+func serveMetrics(addr string, reg *obs.Registry) (*metricsServer, error) {
+	reg.PublishExpvar("cronets")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/events", reg.EventsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
+	}
+	m := &metricsServer{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go func() {
+		if err := m.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			slog.Error("metrics server failed", "err", err)
+		}
+	}()
+	return m, nil
+}
+
+func (m *metricsServer) Close() { _ = m.srv.Close() }

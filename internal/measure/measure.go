@@ -15,6 +15,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cronets/internal/obs"
 )
 
 // Mode bytes of the measurement protocol.
@@ -181,6 +183,13 @@ type RTTStats struct {
 // ProbeRTT measures application-level round-trip time with count echo
 // probes over a connection to a measure.Server.
 func ProbeRTT(conn net.Conn, count int) (RTTStats, error) {
+	return ProbeRTTWith(conn, count, nil)
+}
+
+// ProbeRTTWith is ProbeRTT recording each sample into an obs histogram
+// (typically cronets_measure_probe_rtt_seconds); a nil histogram is
+// ignored.
+func ProbeRTTWith(conn net.Conn, count int, hist *obs.Histogram) (RTTStats, error) {
 	if count <= 0 {
 		count = 10
 	}
@@ -200,6 +209,7 @@ func ProbeRTT(conn net.Conn, count int) (RTTStats, error) {
 			return RTTStats{}, fmt.Errorf("measure: probe read: %w", err)
 		}
 		rtt := time.Since(start)
+		hist.ObserveDuration(rtt)
 		total += rtt
 		if stats.Samples == 0 || rtt < stats.Min {
 			stats.Min = rtt

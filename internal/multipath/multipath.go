@@ -15,8 +15,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"cronets/internal/obs"
 )
 
 // Frame types.
@@ -53,6 +56,9 @@ type Config struct {
 	SubflowInflight int
 	// CloseTimeout bounds Close's wait for final ACKs (default 30 s).
 	CloseTimeout time.Duration
+	// Obs receives per-subflow metrics and failover events (nil disables
+	// instrumentation at zero cost).
+	Obs *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -112,6 +118,10 @@ type Sender struct {
 	finSent    bool
 	deadErr    error
 	wg         sync.WaitGroup
+
+	bytesBy     []*obs.Counter // payload bytes written per subflow
+	retransmits *obs.Counter
+	scope       *obs.Scope
 }
 
 // NewSender builds the sending side over the given subflow connections
@@ -135,6 +145,16 @@ func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.alive {
 		s.alive[i] = true
+	}
+	s.scope = cfg.Obs.Scope("multipath")
+	s.retransmits = cfg.Obs.Counter("cronets_multipath_retransmits_total",
+		"Segments requeued onto surviving subflows after a subflow death.")
+	s.bytesBy = make([]*obs.Counter, len(conns))
+	for i := range conns {
+		s.bytesBy[i] = cfg.Obs.Counter(
+			obs.Label("cronets_multipath_subflow_bytes_total", "subflow", strconv.Itoa(i)),
+			"Payload bytes written per subflow.")
+		s.scope.Event(obs.EventSubflowUp, "subflow "+strconv.Itoa(i))
 	}
 	for i := range conns {
 		s.wg.Add(2)
@@ -281,6 +301,7 @@ func (s *Sender) writeLoop(i int) {
 			s.subflowDied(i)
 			return
 		}
+		s.bytesBy[i].Add(int64(len(seg.data)))
 	}
 }
 
@@ -366,6 +387,13 @@ func (s *Sender) subflowDied(i int) {
 		s.deadErr = ErrAllSubflowsDead
 	}
 	s.cond.Broadcast()
+	s.retransmits.Add(int64(len(requeue)))
+	s.scope.Event(obs.EventSubflowDown,
+		fmt.Sprintf("subflow %d down, %d alive", i, s.aliveN))
+	if len(requeue) > 0 {
+		s.scope.Event(obs.EventRetransmit,
+			fmt.Sprintf("%d segments requeued from subflow %d", len(requeue), i))
+	}
 }
 
 // CumAcked returns the count of contiguously acknowledged segments.

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strconv"
 	"sync"
+
+	"cronets/internal/obs"
 )
 
 // Receiver reassembles a multipath stream. It implements io.Reader; Read
@@ -29,6 +32,9 @@ type Receiver struct {
 	failed    error
 	closed    bool
 	wg        sync.WaitGroup
+
+	reorderDepth *obs.Gauge
+	scope        *obs.Scope
 }
 
 // NewReceiver builds the receiving side over the subflow connections and
@@ -46,6 +52,9 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 		recvBy:  make([]uint64, len(conns)),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.scope = cfg.Obs.Scope("multipath")
+	r.reorderDepth = cfg.Obs.Gauge("cronets_multipath_reorder_depth",
+		"Segments parked in the receiver's reassembly queue.")
 	for i := range conns {
 		r.wg.Add(1)
 		go r.readLoop(i)
@@ -160,6 +169,7 @@ func (r *Receiver) ingest(i int, seq uint64, data []byte) {
 	if advanced {
 		r.cond.Broadcast()
 	}
+	r.reorderDepth.Set(int64(len(r.reorder)))
 	r.mu.Unlock()
 	r.sendSubAck(i, subCount)
 	if needAck {
@@ -212,6 +222,8 @@ func (r *Receiver) subflowDied(err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.deadN++
+	r.scope.Event(obs.EventSubflowDown,
+		"receive side, "+strconv.Itoa(len(r.conns)-r.deadN)+" alive")
 	if r.deadN >= len(r.conns) && !(r.finSeen && r.expected >= r.finSeq) {
 		if r.failed == nil {
 			r.failed = ErrAllSubflowsDead

@@ -14,6 +14,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cronets/internal/obs"
 )
 
 // Impairment describes one direction's shaping.
@@ -33,8 +35,12 @@ type Config struct {
 	// ChunkBytes is the shaping granularity (default 16 KiB). Smaller
 	// chunks emulate latency more faithfully at more CPU cost.
 	ChunkBytes int
-	// Seed drives jitter; 0 uses a fixed default.
+	// Seed drives jitter; 0 uses a fixed default. All connections through
+	// a proxy share one seeded source, so an impairment run is
+	// reproducible end to end.
 	Seed int64
+	// Obs receives shaping metrics (nil disables instrumentation).
+	Obs *obs.Registry
 }
 
 // Proxy is a shaping TCP proxy with a fixed target.
@@ -42,6 +48,16 @@ type Proxy struct {
 	cfg    Config
 	target string
 	ln     net.Listener
+
+	// rng is the proxy's single jitter source: seedable for reproducible
+	// impairment runs, mutex-guarded because every shaping goroutine
+	// draws from it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	shapedUp   *obs.Counter
+	shapedDown *obs.Counter
+	delayHist  *obs.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -57,7 +73,35 @@ func New(ln net.Listener, target string, cfg Config) *Proxy {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 16 << 10
 	}
-	return &Proxy{cfg: cfg, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.shapedUp = cfg.Obs.Counter(obs.Label("cronets_netem_shaped_bytes_total", "dir", "up"),
+		"Bytes forwarded through the shaper by direction.")
+	p.shapedDown = cfg.Obs.Counter(obs.Label("cronets_netem_shaped_bytes_total", "dir", "down"),
+		"Bytes forwarded through the shaper by direction.")
+	p.delayHist = cfg.Obs.Histogram("cronets_netem_added_delay_seconds",
+		"Artificial delay (latency + jitter) added per forwarded chunk.",
+		obs.LatencyBuckets)
+	return p
+}
+
+// jitter draws a uniform [0, max) duration from the proxy's seeded source.
+func (p *Proxy) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(max)))
 }
 
 // Addr returns the proxy's listen address.
@@ -124,20 +168,16 @@ func (p *Proxy) handle(down net.Conn) {
 		p.mu.Unlock()
 	}()
 
-	seed := p.cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	done := make(chan struct{}, 2)
 	go func() {
-		shapeCopy(up, down, p.cfg.Up, p.cfg.ChunkBytes, rand.New(rand.NewSource(seed)))
+		p.shapeCopy(up, down, p.cfg.Up, p.shapedUp)
 		if tc, ok := up.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
 		done <- struct{}{}
 	}()
 	go func() {
-		shapeCopy(down, up, p.cfg.Down, p.cfg.ChunkBytes, rand.New(rand.NewSource(seed+1)))
+		p.shapeCopy(down, up, p.cfg.Down, p.shapedDown)
 		if tc, ok := down.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
@@ -147,17 +187,15 @@ func (p *Proxy) handle(down net.Conn) {
 	<-done
 }
 
-// shapeCopy copies src to dst applying the impairment.
-func shapeCopy(dst io.Writer, src io.Reader, imp Impairment, chunk int, rng *rand.Rand) {
-	buf := make([]byte, chunk)
+// shapeCopy copies src to dst applying the impairment, drawing jitter from
+// the proxy's seeded source and recording shaped bytes + added delay.
+func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *obs.Counter) {
+	buf := make([]byte, p.cfg.ChunkBytes)
 	var budget time.Time // rate-limit pacing horizon
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
-			delay := imp.Latency
-			if imp.Jitter > 0 {
-				delay += time.Duration(rng.Int63n(int64(imp.Jitter)))
-			}
+			delay := imp.Latency + p.jitter(imp.Jitter)
 			if imp.RateMbps > 0 {
 				cost := time.Duration(float64(n*8) / (imp.RateMbps * 1e6) * float64(time.Second))
 				now := time.Now()
@@ -172,9 +210,11 @@ func shapeCopy(dst io.Writer, src io.Reader, imp Impairment, chunk int, rng *ran
 			if delay > 0 {
 				time.Sleep(delay)
 			}
+			p.delayHist.Observe(delay.Seconds())
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				return
 			}
+			shaped.Add(int64(n))
 		}
 		if err != nil {
 			return

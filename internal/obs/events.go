@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// EventType classifies flow events across the overlay stack.
+type EventType uint8
+
+// Flow-event types.
+const (
+	// EventConnect is a CONNECT handshake accepted by a split proxy.
+	EventConnect EventType = iota + 1
+	// EventDial is an upstream dial attempt (detail carries the outcome).
+	EventDial
+	// EventSubflowUp is a multipath subflow entering service.
+	EventSubflowUp
+	// EventSubflowDown is a multipath subflow death / failover.
+	EventSubflowDown
+	// EventRetransmit is a batch of segments requeued onto surviving
+	// subflows.
+	EventRetransmit
+	// EventACLReject is a CONNECT target refused by the relay ACL.
+	EventACLReject
+	// EventIdleClose is a connection reaped by the idle timeout.
+	EventIdleClose
+)
+
+// String returns the event type's wire name.
+func (t EventType) String() string {
+	switch t {
+	case EventConnect:
+		return "connect"
+	case EventDial:
+		return "dial"
+	case EventSubflowUp:
+		return "subflow-up"
+	case EventSubflowDown:
+		return "subflow-down"
+	case EventRetransmit:
+		return "retransmit"
+	case EventACLReject:
+		return "acl-reject"
+	case EventIdleClose:
+		return "idle-close"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON encodes the type as its string name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// Event is one entry in the flow-event ring.
+type Event struct {
+	Time      time.Time `json:"time"`
+	Component string    `json:"component"`
+	Type      EventType `json:"type"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// DefaultEventCapacity is the ring size used by NewRegistry.
+const DefaultEventCapacity = 1024
+
+// EventRing is a fixed-capacity ring buffer of flow events. Recording is
+// cheap (one mutexed slot write); the ring overwrites oldest-first. A nil
+// *EventRing is a valid no-op sink.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventRing creates a ring holding up to capacity events (minimum 1).
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, overwriting the oldest once full. No-op on nil.
+func (r *EventRing) Record(component string, t EventType, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{Time: time.Now(), Component: component, Type: t, Detail: detail}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (r *EventRing) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including overwritten
+// ones).
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Scope is a per-component handle combining the event ring with a slog
+// logger carrying the component attribute. A nil *Scope is a valid no-op.
+type Scope struct {
+	component string
+	ring      *EventRing
+	log       *slog.Logger
+}
+
+// Scope returns a scoped event recorder + logger for a component. Returns
+// nil (a no-op scope) on a nil registry.
+func (r *Registry) Scope(component string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{
+		component: component,
+		ring:      r.events,
+		log:       slog.Default().With("component", component),
+	}
+}
+
+// Event records a flow event in the ring and emits it at debug level.
+func (s *Scope) Event(t EventType, detail string) {
+	if s == nil {
+		return
+	}
+	s.ring.Record(s.component, t, detail)
+	s.log.Debug("flow event", "type", t.String(), "detail", detail)
+}
+
+// Logger returns the scope's component-tagged logger. On a nil scope it
+// returns a logger that discards everything, so callers can log
+// unconditionally.
+func (s *Scope) Logger() *slog.Logger {
+	if s == nil {
+		return discardLogger
+	}
+	return s.log
+}
+
+var discardLogger = slog.New(discardHandler{})
+
+// discardHandler drops every record (slog.DiscardHandler needs go1.24;
+// go.mod pins 1.23).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

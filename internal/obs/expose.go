@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WriteMetrics writes every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by name. Labeled series
+// (created via Label) are grouped under their base name's HELP/TYPE
+// header. Histograms emit cumulative _bucket{le=...} series plus _sum and
+// _count.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	snapshot := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		snapshot[name] = e
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	lastHeader := ""
+	for _, name := range names {
+		e := snapshot[name]
+		base := baseName(name)
+		if base != lastHeader {
+			lastHeader = base
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, e.kind.promType()); err != nil {
+				return err
+			}
+		}
+		if err := writeEntry(w, name, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// baseName strips a trailing {label} block.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func writeEntry(w io.Writer, name string, e *entry) error {
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", name, e.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", name, e.g.Value())
+		return err
+	case kindCounterFunc, kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %d\n", name, e.fn())
+		return err
+	case kindHistogram:
+		h := e.h
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum); err != nil {
+				return err
+			}
+		}
+		count := h.Count()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n",
+			name, strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+		return err
+	}
+	return nil
+}
+
+// HistogramSnapshot is a histogram's JSON form.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// Snapshot returns all metric values as a JSON-encodable map: counters and
+// gauges as int64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	entries := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		entries[name] = e
+	}
+	r.mu.Unlock()
+	for name, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out[name] = e.c.Value()
+		case kindGauge:
+			out[name] = e.g.Value()
+		case kindCounterFunc, kindGaugeFunc:
+			out[name] = e.fn()
+		case kindHistogram:
+			h := e.h
+			hs := HistogramSnapshot{
+				Count:   h.Count(),
+				Sum:     h.Sum(),
+				Buckets: make(map[string]int64, len(h.bounds)+1),
+			}
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				hs.Buckets[strconv.FormatFloat(bound, 'g', -1, 64)] = cum
+			}
+			hs.Buckets["+Inf"] = h.Count()
+			out[name] = hs
+		}
+	}
+	return out
+}
+
+// MetricsHandler serves the Prometheus text exposition.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteMetrics(w)
+	})
+}
+
+// JSONHandler serves the metric snapshot as a JSON object.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// EventsHandler serves the flow-event ring as a JSON array, oldest first.
+func (r *Registry) EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := r.Events().Snapshot()
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+}
+
+// expvarMu guards against double-publishing (expvar.Publish panics on a
+// duplicate name, e.g. across tests).
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot as a single expvar
+// variable, making it visible on /debug/vars alongside the runtime's
+// memstats. If the name is already published (by this or an earlier
+// registry) the existing binding is kept and false is returned.
+func (r *Registry) PublishExpvar(name string) bool {
+	if r == nil {
+		return false
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return true
+}

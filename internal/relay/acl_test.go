@@ -2,6 +2,7 @@ package relay
 
 import (
 	"context"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -100,8 +101,58 @@ func TestRelayEnforcesACL(t *testing.T) {
 	if !strings.Contains(err.Error(), "forbidden") {
 		t.Errorf("err = %v, want forbidden", err)
 	}
-	if r.Stats().Errors.Load() == 0 {
-		t.Error("error counter not incremented")
+	waitFor(t, func() bool { return r.Stats().Rejected.Load() > 0 })
+	if r.Stats().Rejected.Load() == 0 {
+		t.Error("rejected counter not incremented")
+	}
+	if r.Stats().Errors.Load() != 0 {
+		t.Errorf("ACL rejection should not count as an error, got Errors=%d",
+			r.Stats().Errors.Load())
+	}
+}
+
+// TestRejectedCounterSeparateFromErrors: an ACL refusal increments only
+// Rejected, while a failed upstream dial increments only Errors — open-relay
+// probes and upstream trouble stay distinguishable.
+func TestRejectedCounterSeparateFromErrors(t *testing.T) {
+	echo := echoServer(t)
+	acl, err := NewACL([]string{"127.0.0.0/8"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := startRelay(t, Config{ACL: acl, DialTimeout: 2 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Forbidden target: rejected, not an error.
+	if _, err := DialVia(ctx, nil, r.Addr().String(), "203.0.113.9:80"); err == nil {
+		t.Fatal("forbidden target should be refused")
+	}
+	// Allowed target that refuses the connection: an error, not a reject.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+	if _, err := DialVia(ctx, nil, r.Addr().String(), deadAddr); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+	// A working connection for contrast.
+	conn, err := DialVia(ctx, nil, r.Addr().String(), echo.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	waitFor(t, func() bool {
+		return r.Stats().Rejected.Load() == 1 && r.Stats().Errors.Load() == 1
+	})
+	if got := r.Stats().Rejected.Load(); got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+	if got := r.Stats().Errors.Load(); got != 1 {
+		t.Errorf("Errors = %d, want 1", got)
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cronets/internal/obs"
 )
 
 // Dialer abstracts net.Dialer for tests.
@@ -45,6 +47,9 @@ type Config struct {
 	ACL *ACL
 	// Dialer overrides the upstream dialer (tests).
 	Dialer Dialer
+	// Obs receives the relay's metrics and flow events (nil disables
+	// instrumentation at zero cost).
+	Obs *obs.Registry
 }
 
 // Stats are cumulative relay counters, safe to read concurrently.
@@ -56,8 +61,12 @@ type Stats struct {
 	// BytesUp and BytesDown count relayed bytes (client->target and back).
 	BytesUp   atomic.Int64
 	BytesDown atomic.Int64
-	// Errors counts failed relay attempts.
+	// Errors counts failed relay attempts (dial failures, broken pipes).
 	Errors atomic.Int64
+	// Rejected counts CONNECT attempts refused by the ACL, kept separate
+	// from Errors so open-relay probing is distinguishable from upstream
+	// trouble.
+	Rejected atomic.Int64
 }
 
 // Relay is a running overlay relay listening for downstream connections.
@@ -65,6 +74,9 @@ type Relay struct {
 	cfg   Config
 	ln    net.Listener
 	stats *Stats
+
+	dialLatency *obs.Histogram
+	scope       *obs.Scope
 
 	mu     sync.Mutex
 	closed bool
@@ -74,6 +86,10 @@ type Relay struct {
 
 // ErrRelayClosed is returned by Serve after Close.
 var ErrRelayClosed = errors.New("relay: closed")
+
+// errACLRejected marks a CONNECT refusal so Serve can count it in
+// Stats.Rejected rather than Stats.Errors.
+var errACLRejected = errors.New("relay: target forbidden by ACL")
 
 // New creates a relay on the listener. Close the relay to release it.
 func New(ln net.Listener, cfg Config) *Relay {
@@ -94,12 +110,34 @@ func New(ln net.Listener, cfg Config) *Relay {
 	if cfg.Dialer == nil {
 		cfg.Dialer = &net.Dialer{}
 	}
-	return &Relay{
+	r := &Relay{
 		cfg:   cfg,
 		ln:    ln,
 		stats: &Stats{},
 		conns: make(map[net.Conn]struct{}),
 	}
+	r.instrument(cfg.Obs)
+	return r
+}
+
+// instrument wires the relay's counters into an obs registry. All obs
+// calls are nil-safe, so a nil registry disables instrumentation.
+func (r *Relay) instrument(reg *obs.Registry) {
+	r.scope = reg.Scope("relay")
+	r.dialLatency = reg.Histogram("cronets_relay_dial_latency_seconds",
+		"Upstream dial latency of successful dials.", obs.LatencyBuckets)
+	reg.CounterFunc("cronets_relay_accepted_total",
+		"Downstream connections accepted.", r.stats.Accepted.Load)
+	reg.GaugeFunc("cronets_relay_active",
+		"Connections currently being relayed.", r.stats.Active.Load)
+	reg.CounterFunc(obs.Label("cronets_relay_bytes_total", "dir", "up"),
+		"Relayed bytes by direction (up = client to target).", r.stats.BytesUp.Load)
+	reg.CounterFunc(obs.Label("cronets_relay_bytes_total", "dir", "down"),
+		"Relayed bytes by direction (up = client to target).", r.stats.BytesDown.Load)
+	reg.CounterFunc("cronets_relay_errors_total",
+		"Failed relay attempts (dials, broken pipes).", r.stats.Errors.Load)
+	reg.CounterFunc("cronets_relay_rejected_total",
+		"CONNECT attempts refused by the ACL.", r.stats.Rejected.Load)
 }
 
 // Addr returns the relay's listen address.
@@ -134,7 +172,11 @@ func (r *Relay) Serve() error {
 			defer r.wg.Done()
 			defer r.untrack(conn)
 			if err := r.handle(conn); err != nil {
-				r.stats.Errors.Add(1)
+				if errors.Is(err, errACLRejected) {
+					r.stats.Rejected.Add(1)
+				} else {
+					r.stats.Errors.Add(1)
+				}
 			}
 		}()
 	}
@@ -193,20 +235,26 @@ func (r *Relay) handle(down net.Conn) error {
 		}
 		if !r.cfg.ACL.Allow(t) {
 			_, _ = io.WriteString(down, "ERR forbidden\n")
-			return fmt.Errorf("relay: ACL forbids %s", t)
+			r.scope.Event(obs.EventACLReject, t)
+			return fmt.Errorf("relay: ACL forbids %s: %w", t, errACLRejected)
 		}
 		target = t
+		r.scope.Event(obs.EventConnect, t)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+	dialStart := time.Now()
 	up, err := r.cfg.Dialer.DialContext(ctx, "tcp", target)
 	cancel()
 	if err != nil {
 		if br != nil {
 			_, _ = io.WriteString(down, "ERR dial failed\n")
 		}
+		r.scope.Event(obs.EventDial, "fail "+target)
 		return fmt.Errorf("relay: dial %s: %w", target, err)
 	}
+	r.dialLatency.ObserveDuration(time.Since(dialStart))
+	r.scope.Event(obs.EventDial, "ok "+target)
 	defer up.Close()
 	r.track(up)
 	defer r.untrack(up)
@@ -229,6 +277,7 @@ func (r *Relay) handle(down net.Conn) error {
 func (r *Relay) pipe(down net.Conn, downReader io.Reader, up net.Conn) error {
 	errc := make(chan error, 1)
 	idle := newIdleWatch(r.cfg.IdleTimeout, func() {
+		r.scope.Event(obs.EventIdleClose, down.RemoteAddr().String())
 		_ = down.Close()
 		_ = up.Close()
 	})

@@ -47,6 +47,22 @@ func startRelay(t *testing.T, cfg Config) *Relay {
 	return r
 }
 
+// waitFor polls cond until it holds or a 5 s deadline expires (counters
+// are incremented by handler goroutines after the client sees a reply).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !cond() {
+		t.Error("condition not reached within deadline")
+	}
+}
+
 func roundtrip(t *testing.T, conn net.Conn, msg string) string {
 	t.Helper()
 	if _, err := io.WriteString(conn, msg); err != nil {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/netip"
 	"sync"
+
+	"cronets/internal/obs"
 )
 
 // Endpoint sends and receives encapsulated packets over a framed stream —
@@ -87,6 +89,10 @@ type OverlayNode struct {
 	nat    *NAT
 	net    PacketNetwork
 
+	encap *obs.Counter // packets re-encapsulated into the tunnel
+	decap *obs.Counter // packets decapsulated out of the tunnel
+	scope *obs.Scope
+
 	stop chan struct{}
 	done sync.WaitGroup
 
@@ -108,6 +114,19 @@ func NewOverlayNode(tunnelSide io.ReadWriter, external netip.Addr, network Packe
 
 // NAT exposes the node's masquerade table (for inspection and tests).
 func (o *OverlayNode) NAT() *NAT { return o.nat }
+
+// Instrument wires the node's frame counters and NAT table gauge into an
+// obs registry. Call before Start; a nil registry is a no-op.
+func (o *OverlayNode) Instrument(reg *obs.Registry) {
+	o.encap = reg.Counter("cronets_tunnel_frames_encap_total",
+		"Return packets re-encapsulated into the tunnel.")
+	o.decap = reg.Counter("cronets_tunnel_frames_decap_total",
+		"Packets decapsulated out of the tunnel toward the network.")
+	reg.GaugeFunc("cronets_tunnel_nat_entries",
+		"Live NAT masquerade translations.",
+		func() int64 { return int64(o.nat.Len()) })
+	o.scope = reg.Scope("tunnel")
+}
 
 // Start launches the two forwarding pumps. It may be called once.
 func (o *OverlayNode) Start() error {
@@ -132,9 +151,11 @@ func (o *OverlayNode) pumpOutbound() {
 			o.recordErr(err)
 			return
 		}
+		o.decap.Inc()
 		out, err := o.nat.TranslateOutbound(p)
 		if err != nil {
 			// Port exhaustion drops the packet, as a router would.
+			o.scope.Logger().Debug("outbound packet dropped", "err", err)
 			continue
 		}
 		if err := o.net.SendPacket(out); err != nil {
@@ -162,6 +183,7 @@ func (o *OverlayNode) pumpInbound() {
 			o.recordErr(err)
 			return
 		}
+		o.encap.Inc()
 	}
 }
 
