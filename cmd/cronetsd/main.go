@@ -42,15 +42,17 @@ func main() {
 		allow       = flag.String("allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz on this address (empty = disabled)")
 		statsEvery  = flag.Duration("stats-interval", 30*time.Second, "period of the stats summary log line (0 = disabled)")
+		dialRetries = flag.Int("dial-retries", 2, "upstream dial retries on transient errors (refused/timeout)")
+		dialBackoff = flag.Duration("dial-retry-backoff", 50*time.Millisecond, "initial backoff between upstream dial retries (doubles per attempt)")
 	)
 	flag.Parse()
-	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow, *metricsAddr, *statsEvery); err != nil {
+	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow, *metricsAddr, *statsEvery, *dialRetries, *dialBackoff); err != nil {
 		fmt.Fprintln(os.Stderr, "cronetsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, metricsAddr string, statsEvery time.Duration) error {
+func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, metricsAddr string, statsEvery time.Duration, dialRetries int, dialBackoff time.Duration) error {
 	var acl *relay.ACL
 	if allow != "" {
 		var err error
@@ -71,6 +73,9 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, m
 		BufferBytes: bufKB << 10,
 		ACL:         acl,
 		Obs:         reg,
+
+		DialRetries:      dialRetries,
+		DialRetryBackoff: dialBackoff,
 	})
 	mode := "split proxy (CONNECT mode)"
 	if target != "" {
@@ -132,6 +137,8 @@ func logStats(r *relay.Relay, msg string) {
 		"bytes_down", st.BytesDown.Load(),
 		"errors", st.Errors.Load(),
 		"rejected", st.Rejected.Load(),
+		"overloaded", st.Overloaded.Load(),
+		"dial_retries", st.DialRetries.Load(),
 	)
 }
 

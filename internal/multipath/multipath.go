@@ -7,6 +7,12 @@
 // can absorb it, so faster paths naturally carry more traffic, and a dead
 // subflow's unacknowledged segments are retransmitted on the survivors —
 // the failover property MPTCP provides transparently.
+//
+// Subflows are also *re-establishable*: with a SubflowDialer configured,
+// the sender redials a dead subflow with exponential backoff + jitter and
+// rejoins it to the channel via a JOIN handshake (channel ID + subflow
+// index); the receiver accepts the late-joining socket and striping
+// resumes on the recovered path.
 package multipath
 
 import (
@@ -14,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
@@ -34,15 +41,25 @@ const (
 	// TCP ACKs, which keep a fast subflow sending while the reassembly
 	// point waits on a slow one.
 	frameSubAck byte = 4
+	// frameJoin is the reconnect handshake: seq carries the channel ID,
+	// length the subflow index. The receiver echoes it to accept.
+	frameJoin byte = 5
 )
 
 // frame header: type(1) + seq(8) + length(4).
 const headerSize = 13
 
+// SubflowDialer re-establishes the transport connection for a dead
+// subflow. It is called from the sender's reconnect loop and should bound
+// its own dial time.
+type SubflowDialer func(subflow int) (net.Conn, error)
+
 // Config parameterizes a multipath channel. The zero value is usable;
 // defaults are filled in.
 type Config struct {
-	// MaxSegBytes is the striping segment size (default 32 KiB).
+	// MaxSegBytes is the striping segment size (default 32 KiB). The
+	// receiver rejects data frames longer than this, so both ends must
+	// agree on it.
 	MaxSegBytes int
 	// WindowSegs bounds unacknowledged segments (default 256); Write
 	// blocks when the window is full.
@@ -54,8 +71,30 @@ type Config struct {
 	// 8). Without it a slow subflow's writer pulls unbounded work into
 	// kernel buffers and head-of-line blocks the reassembly window.
 	SubflowInflight int
+	// MaxBufferedBytes caps the receiver's reassembled-but-unread byte
+	// buffer (default 8 MiB). While over the cap the receiver withholds
+	// cumulative ACKs, so the sender's window closes and a non-reading
+	// application cannot force unbounded buffering; at most one more
+	// window (WindowSegs * MaxSegBytes) arrives past the cap.
+	MaxBufferedBytes int
 	// CloseTimeout bounds Close's wait for final ACKs (default 30 s).
 	CloseTimeout time.Duration
+	// Dialer enables subflow re-establishment: when a subflow dies, the
+	// sender redials it and rejoins the channel. Nil disables reconnect
+	// (a dead subflow stays dead).
+	Dialer SubflowDialer
+	// ChannelID identifies the channel in JOIN handshakes; the receiver
+	// rejects joins for any other ID. Both ends must agree on it.
+	ChannelID uint64
+	// ReconnectAttempts caps redial attempts per subflow death
+	// (default 5).
+	ReconnectAttempts int
+	// ReconnectBackoff is the delay before the first redial attempt
+	// (default 25 ms), doubling each attempt with up to 50% added
+	// jitter, capped at 2 s.
+	ReconnectBackoff time.Duration
+	// JoinTimeout bounds each side of the JOIN handshake (default 5 s).
+	JoinTimeout time.Duration
 	// Obs receives per-subflow metrics and failover events (nil disables
 	// instrumentation at zero cost).
 	Obs *obs.Registry
@@ -74,18 +113,36 @@ func (c *Config) applyDefaults() {
 	if c.SubflowInflight <= 0 {
 		c.SubflowInflight = 8
 	}
+	if c.MaxBufferedBytes <= 0 {
+		c.MaxBufferedBytes = 8 << 20
+	}
 	if c.CloseTimeout <= 0 {
 		c.CloseTimeout = 30 * time.Second
 	}
+	if c.ReconnectAttempts <= 0 {
+		c.ReconnectAttempts = 5
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 25 * time.Millisecond
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 5 * time.Second
+	}
 }
+
+// maxReconnectBackoff caps the exponential redial backoff.
+const maxReconnectBackoff = 2 * time.Second
 
 // Errors.
 var (
 	// ErrAllSubflowsDead is returned when no subflow remains to carry
-	// unacknowledged data.
+	// unacknowledged data (and reconnection, if enabled, gave up).
 	ErrAllSubflowsDead = errors.New("multipath: all subflows dead")
 	// ErrSenderClosed is returned by Write after Close.
 	ErrSenderClosed = errors.New("multipath: sender closed")
+	// ErrJoinRejected is returned when the far end refuses a JOIN
+	// handshake (wrong channel ID or subflow index).
+	ErrJoinRejected = errors.New("multipath: join rejected")
 )
 
 // segment is one striped unit awaiting acknowledgment.
@@ -97,30 +154,43 @@ type segment struct {
 // Sender stripes a byte stream across subflows. It implements
 // io.WriteCloser. Safe for one writer goroutine.
 type Sender struct {
-	cfg   Config
-	conns []net.Conn
-	// wmu serializes writes on each subflow so a FIN cannot interleave
-	// with a data frame's header/body pair.
+	cfg Config
+	// wmu serializes writes on each subflow slot so a FIN cannot
+	// interleave with a data frame's header/body pair.
 	wmu []sync.Mutex
+	// stopc cancels reconnect loops on Close.
+	stopc chan struct{}
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	nextSeq    uint64
-	cumAcked   uint64              // all seq < cumAcked are acknowledged
-	pending    []*segment          // not yet assigned to a subflow
-	inflight   map[uint64]*segment // assigned, unacked
-	owner      map[uint64]int      // seq -> subflow index
-	sentBy     []uint64            // segments written per subflow
-	subAckedBy []uint64            // segments sub-acked per subflow
-	alive      []bool
-	aliveN     int
-	closed     bool
-	finSent    bool
-	deadErr    error
-	wg         sync.WaitGroup
+	// rng drives reconnect backoff jitter, seeded from the channel ID so
+	// runs are reproducible.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	conns []net.Conn
+	// epoch[i] counts incarnations of subflow slot i: every rejoin bumps
+	// it, so goroutines serving a dead incarnation (or its late frames)
+	// can detect they are stale and stand down.
+	epoch        []uint64
+	nextSeq      uint64
+	cumAcked     uint64              // all seq < cumAcked are acknowledged
+	pending      []*segment          // not yet assigned to a subflow
+	inflight     map[uint64]*segment // assigned, unacked
+	owner        map[uint64]int      // seq -> subflow index
+	sentBy       []uint64            // segments written per subflow incarnation
+	subAckedBy   []uint64            // segments sub-acked per subflow incarnation
+	alive        []bool
+	aliveN       int
+	reconnecting int // subflows with a redial loop in flight
+	closed       bool
+	finSent      bool
+	deadErr      error
+	wg           sync.WaitGroup
 
 	bytesBy     []*obs.Counter // payload bytes written per subflow
 	retransmits *obs.Counter
+	rejoins     *obs.Counter
 	scope       *obs.Scope
 }
 
@@ -133,8 +203,11 @@ func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
 	cfg.applyDefaults()
 	s := &Sender{
 		cfg:        cfg,
-		conns:      conns,
+		conns:      append([]net.Conn(nil), conns...),
 		wmu:        make([]sync.Mutex, len(conns)),
+		stopc:      make(chan struct{}),
+		rng:        rand.New(rand.NewSource(int64(cfg.ChannelID) + 1)),
+		epoch:      make([]uint64, len(conns)),
 		inflight:   make(map[uint64]*segment),
 		owner:      make(map[uint64]int),
 		sentBy:     make([]uint64, len(conns)),
@@ -149,6 +222,8 @@ func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
 	s.scope = cfg.Obs.Scope("multipath")
 	s.retransmits = cfg.Obs.Counter("cronets_multipath_retransmits_total",
 		"Segments requeued onto surviving subflows after a subflow death.")
+	s.rejoins = cfg.Obs.Counter("cronets_multipath_rejoins_total",
+		"Dead subflows re-established via the reconnect loop.")
 	s.bytesBy = make([]*obs.Counter, len(conns))
 	for i := range conns {
 		s.bytesBy[i] = cfg.Obs.Counter(
@@ -156,10 +231,10 @@ func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
 			"Payload bytes written per subflow.")
 		s.scope.Event(obs.EventSubflowUp, "subflow "+strconv.Itoa(i))
 	}
-	for i := range conns {
+	for i, c := range s.conns {
 		s.wg.Add(2)
-		go s.writeLoop(i)
-		go s.ackLoop(i)
+		go s.writeLoop(i, 0, c)
+		go s.ackLoop(i, 0, c)
 	}
 	return s, nil
 }
@@ -200,7 +275,9 @@ func (s *Sender) Write(p []byte) (int, error) {
 }
 
 // Close flushes remaining data, waits for all acknowledgments (bounded by
-// CloseTimeout), sends FIN, and closes the subflows.
+// CloseTimeout), sends FIN, and closes the subflows. Once the FIN is out,
+// subflow teardown is orderly: conns closing underneath the ack loops is
+// no longer treated as a path failure.
 func (s *Sender) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -219,23 +296,23 @@ func (s *Sender) Close() error {
 		err = fmt.Errorf("multipath: close timed out with %d segments unacked", finSeq-s.cumAcked)
 	}
 	s.finSent = true
+	conns := append([]net.Conn(nil), s.conns...)
+	aliveSnapshot := append([]bool(nil), s.alive...)
 	s.mu.Unlock()
+	close(s.stopc)
 
 	// Send FIN on every alive subflow (receivers tolerate duplicates).
 	fin := make([]byte, headerSize)
 	fin[0] = frameFin
 	binary.BigEndian.PutUint64(fin[1:9], finSeq)
-	for i, c := range s.conns {
-		s.mu.Lock()
-		ok := s.alive[i]
-		s.mu.Unlock()
-		if ok {
+	for i, c := range conns {
+		if aliveSnapshot[i] {
 			s.wmu[i].Lock()
 			_, _ = c.Write(fin)
 			s.wmu[i].Unlock()
 		}
 	}
-	for _, c := range s.conns {
+	for _, c := range conns {
 		if tc, ok := c.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
@@ -244,7 +321,7 @@ func (s *Sender) Close() error {
 	s.mu.Lock()
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	for _, c := range s.conns {
+	for _, c := range conns {
 		_ = c.Close()
 	}
 	s.wg.Wait()
@@ -262,18 +339,19 @@ func (s *Sender) waitWithTimeout(d time.Duration) {
 	s.cond.Wait()
 }
 
-// writeLoop pulls segments and writes them on subflow i until the channel
-// shuts down or the subflow dies.
-func (s *Sender) writeLoop(i int) {
+// writeLoop pulls segments and writes them on subflow slot i (incarnation
+// epoch, socket conn) until the channel shuts down, the subflow dies, or
+// a rejoin supersedes this incarnation.
+func (s *Sender) writeLoop(i int, epoch uint64, conn net.Conn) {
 	defer s.wg.Done()
 	hdr := make([]byte, headerSize)
 	for {
 		s.mu.Lock()
 		for (len(s.pending) == 0 || s.inflightLocked(i) >= s.cfg.SubflowInflight) &&
-			!s.doneLocked() && s.alive[i] {
+			!s.doneLocked() && s.alive[i] && s.epoch[i] == epoch {
 			s.cond.Wait()
 		}
-		if (s.doneLocked() && len(s.pending) == 0) || !s.alive[i] {
+		if (s.doneLocked() && len(s.pending) == 0) || !s.alive[i] || s.epoch[i] != epoch {
 			s.mu.Unlock()
 			return
 		}
@@ -292,13 +370,13 @@ func (s *Sender) writeLoop(i int) {
 		binary.BigEndian.PutUint64(hdr[1:9], seg.seq)
 		binary.BigEndian.PutUint32(hdr[9:13], uint32(len(seg.data)))
 		s.wmu[i].Lock()
-		_, err := s.conns[i].Write(hdr)
+		_, err := conn.Write(hdr)
 		if err == nil {
-			_, err = s.conns[i].Write(seg.data)
+			_, err = conn.Write(seg.data)
 		}
 		s.wmu[i].Unlock()
 		if err != nil {
-			s.subflowDied(i)
+			s.subflowDied(i, epoch)
 			return
 		}
 		s.bytesBy[i].Add(int64(len(seg.data)))
@@ -316,17 +394,17 @@ func (s *Sender) inflightLocked(i int) int {
 	return int(s.sentBy[i] - s.subAckedBy[i])
 }
 
-// ackLoop reads cumulative ACKs arriving on subflow i.
-func (s *Sender) ackLoop(i int) {
+// ackLoop reads cumulative ACKs arriving on subflow slot i's incarnation.
+func (s *Sender) ackLoop(i int, epoch uint64, conn net.Conn) {
 	defer s.wg.Done()
 	hdr := make([]byte, headerSize)
 	for {
-		if _, err := io.ReadFull(s.conns[i], hdr); err != nil {
-			s.subflowDied(i)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			s.subflowDied(i, epoch)
 			return
 		}
 		if hdr[0] != frameAck && hdr[0] != frameSubAck {
-			s.subflowDied(i)
+			s.subflowDied(i, epoch)
 			return
 		}
 		value := binary.BigEndian.Uint64(hdr[1:9])
@@ -342,7 +420,9 @@ func (s *Sender) ackLoop(i int) {
 				s.cond.Broadcast()
 			}
 		case frameSubAck:
-			if value > s.subAckedBy[i] {
+			// Sub-ack counts are per incarnation; a stale epoch's count
+			// must not corrupt the fresh socket's inflight accounting.
+			if s.epoch[i] == epoch && value > s.subAckedBy[i] {
 				s.subAckedBy[i] = value
 				s.cond.Broadcast()
 			}
@@ -351,16 +431,19 @@ func (s *Sender) ackLoop(i int) {
 	}
 }
 
-// subflowDied marks subflow i dead and requeues its unacknowledged
-// segments for retransmission on the survivors.
-func (s *Sender) subflowDied(i int) {
+// subflowDied marks incarnation epoch of subflow i dead, requeues its
+// unacknowledged segments for retransmission on the survivors, and — with
+// a Dialer configured — starts the reconnect loop. After the FIN has been
+// sent the channel is tearing down and conns closing is not a failure.
+func (s *Sender) subflowDied(i int, epoch uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.alive[i] {
+	if s.epoch[i] != epoch || !s.alive[i] || s.finSent {
 		return
 	}
 	s.alive[i] = false
 	s.aliveN--
+	_ = s.conns[i].Close() // wake the peer's reader promptly
 	var requeue []*segment
 	for seq, owner := range s.owner {
 		if owner != i {
@@ -383,7 +466,13 @@ func (s *Sender) subflowDied(i int) {
 		}
 	}
 	s.pending = append(requeue, s.pending...)
-	if s.aliveN == 0 && (len(s.pending) > 0 || len(s.inflight) > 0 || !s.closed) {
+	if s.cfg.Dialer != nil && !s.closed {
+		s.reconnecting++
+		s.wg.Add(1)
+		go s.reconnectLoop(i)
+	}
+	if s.aliveN == 0 && s.reconnecting == 0 &&
+		(len(s.pending) > 0 || len(s.inflight) > 0 || !s.closed) {
 		s.deadErr = ErrAllSubflowsDead
 	}
 	s.cond.Broadcast()
@@ -396,6 +485,117 @@ func (s *Sender) subflowDied(i int) {
 	}
 }
 
+// reconnectLoop redials subflow i with exponential backoff + jitter,
+// rejoins it to the channel via the JOIN handshake, and puts it back into
+// service. It gives up after ReconnectAttempts or when the sender closes.
+func (s *Sender) reconnectLoop(i int) {
+	defer s.wg.Done()
+	backoff := s.cfg.ReconnectBackoff
+	for attempt := 1; attempt <= s.cfg.ReconnectAttempts; attempt++ {
+		select {
+		case <-s.stopc:
+			s.reconnectDone(false)
+			return
+		case <-time.After(backoff + s.backoffJitter(backoff)):
+		}
+		if backoff < maxReconnectBackoff {
+			backoff *= 2
+		}
+		conn, err := s.cfg.Dialer(i)
+		if err != nil {
+			s.scope.Logger().Debug("subflow redial failed",
+				"subflow", i, "attempt", attempt, "err", err)
+			continue
+		}
+		if err := s.joinHandshake(conn, i); err != nil {
+			_ = conn.Close()
+			s.scope.Logger().Debug("subflow join failed",
+				"subflow", i, "attempt", attempt, "err", err)
+			continue
+		}
+		if !s.install(i, conn) {
+			// The channel closed while we were dialing.
+			_ = conn.Close()
+			s.reconnectDone(false)
+			return
+		}
+		s.reconnectDone(true)
+		return
+	}
+	s.reconnectDone(false)
+}
+
+// reconnectDone retires one redial loop; if it failed and nothing else can
+// revive the channel, the all-dead verdict is delivered.
+func (s *Sender) reconnectDone(ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reconnecting--
+	if !ok && s.aliveN == 0 && s.reconnecting == 0 && s.deadErr == nil &&
+		(len(s.pending) > 0 || len(s.inflight) > 0 || !s.closed) {
+		s.deadErr = ErrAllSubflowsDead
+	}
+	s.cond.Broadcast()
+}
+
+// joinHandshake identifies the reconnected socket to the receiver:
+// channel ID + subflow index out, the same frame echoed back on accept.
+func (s *Sender) joinHandshake(conn net.Conn, i int) error {
+	hdr := make([]byte, headerSize)
+	hdr[0] = frameJoin
+	binary.BigEndian.PutUint64(hdr[1:9], s.cfg.ChannelID)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(i))
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.JoinTimeout))
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("multipath: send join: %w", err)
+	}
+	resp := make([]byte, headerSize)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return fmt.Errorf("multipath: read join ack: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if resp[0] != frameJoin || binary.BigEndian.Uint64(resp[1:9]) != s.cfg.ChannelID {
+		return ErrJoinRejected
+	}
+	return nil
+}
+
+// install puts a rejoined socket back into subflow slot i, bumping the
+// slot's epoch and restarting its worker pair.
+func (s *Sender) install(i int, conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed || s.finSent || s.deadErr != nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.conns[i] = conn
+	s.epoch[i]++
+	epoch := s.epoch[i]
+	s.alive[i] = true
+	s.aliveN++
+	s.sentBy[i] = 0
+	s.subAckedBy[i] = 0
+	s.wg.Add(2)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.rejoins.Inc()
+	s.scope.Event(obs.EventSubflowRejoin,
+		fmt.Sprintf("subflow %d rejoined (epoch %d)", i, epoch))
+	go s.writeLoop(i, epoch, conn)
+	go s.ackLoop(i, epoch, conn)
+	return true
+}
+
+// backoffJitter draws a uniform [0, d/2] jitter from the seeded source.
+func (s *Sender) backoffJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+}
+
 // CumAcked returns the count of contiguously acknowledged segments.
 func (s *Sender) CumAcked() uint64 {
 	s.mu.Lock()
@@ -403,7 +603,7 @@ func (s *Sender) CumAcked() uint64 {
 	return s.cumAcked
 }
 
-// AliveSubflows returns how many subflows are still usable.
+// AliveSubflows returns how many subflows are currently usable.
 func (s *Sender) AliveSubflows() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

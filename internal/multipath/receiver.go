@@ -3,31 +3,42 @@ package multipath
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"cronets/internal/obs"
 )
 
 // Receiver reassembles a multipath stream. It implements io.Reader; Read
-// returns io.EOF after the FIN's sequence is fully delivered.
+// returns io.EOF after the FIN's sequence is fully delivered. Join
+// accepts a reconnected subflow's socket back into the channel.
 type Receiver struct {
-	cfg   Config
-	conns []net.Conn
-	// wmu serializes ACK writes per subflow.
+	cfg Config
+	// wmu serializes ACK writes per subflow slot.
 	wmu []sync.Mutex
 
-	mu        sync.Mutex
-	cond      *sync.Cond
+	mu    sync.Mutex
+	cond  *sync.Cond
+	conns []net.Conn
+	// epoch[i] counts incarnations of subflow slot i (see Sender.epoch):
+	// frames and deaths from a superseded socket are recognized as stale.
+	epoch     []uint64
+	alive     []bool
 	reorder   map[uint64][]byte
-	recvBy    []uint64 // segments received per subflow (for sub-acks)
+	recvBy    []uint64 // segments received per subflow incarnation
 	expected  uint64   // next in-order sequence to deliver
 	delivered []byte   // in-order bytes awaiting Read
 	finSeq    uint64
 	finSeen   bool
 	sinceAck  int
+	// ackHeld marks a cumulative ACK withheld because delivered exceeded
+	// MaxBufferedBytes; Read releases it once the application drains.
+	ackHeld   bool
+	ackHeldOn int
 	deadN     int
 	failed    error
 	closed    bool
@@ -46,8 +57,10 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 	cfg.applyDefaults()
 	r := &Receiver{
 		cfg:     cfg,
-		conns:   conns,
+		conns:   append([]net.Conn(nil), conns...),
 		wmu:     make([]sync.Mutex, len(conns)),
+		epoch:   make([]uint64, len(conns)),
+		alive:   make([]bool, len(conns)),
 		reorder: make(map[uint64][]byte),
 		recvBy:  make([]uint64, len(conns)),
 	}
@@ -55,32 +68,54 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 	r.scope = cfg.Obs.Scope("multipath")
 	r.reorderDepth = cfg.Obs.Gauge("cronets_multipath_reorder_depth",
 		"Segments parked in the receiver's reassembly queue.")
-	for i := range conns {
+	for i, c := range r.conns {
+		r.alive[i] = true
 		r.wg.Add(1)
-		go r.readLoop(i)
+		go r.readLoop(c, i, 0)
 	}
 	return r, nil
 }
 
-// Read returns reassembled, in-order bytes.
+// Read returns reassembled, in-order bytes. Draining below the buffer cap
+// releases any withheld cumulative ACK so the sender's window reopens.
 func (r *Receiver) Read(p []byte) (int, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for len(r.delivered) == 0 {
 		if r.finSeen && r.expected >= r.finSeq {
+			r.mu.Unlock()
 			return 0, io.EOF
 		}
 		if r.failed != nil {
-			return 0, r.failed
+			err := r.failed
+			r.mu.Unlock()
+			return 0, err
 		}
 		if r.closed {
+			r.mu.Unlock()
 			return 0, net.ErrClosed
 		}
 		r.cond.Wait()
 	}
 	n := copy(p, r.delivered)
 	r.delivered = r.delivered[n:]
+	release := r.ackHeld && len(r.delivered) <= r.cfg.MaxBufferedBytes
+	ackOn := r.ackHeldOn
+	if release {
+		r.ackHeld = false
+		r.sinceAck = 0
+	}
+	r.mu.Unlock()
+	if release {
+		r.sendAck(ackOn)
+	}
 	return n, nil
+}
+
+// Buffered returns how many reassembled bytes await Read.
+func (r *Receiver) Buffered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.delivered)
 }
 
 // Close tears the receiver down.
@@ -91,34 +126,104 @@ func (r *Receiver) Close() error {
 		return nil
 	}
 	r.closed = true
+	conns := append([]net.Conn(nil), r.conns...)
 	r.cond.Broadcast()
 	r.mu.Unlock()
-	for _, c := range r.conns {
+	for _, c := range conns {
 		_ = c.Close()
 	}
 	r.wg.Wait()
 	return nil
 }
 
-// readLoop consumes frames from subflow i.
-func (r *Receiver) readLoop(i int) {
+// Join accepts a reconnected subflow socket: it reads the JOIN frame,
+// validates the channel ID and subflow index, echoes the frame to accept,
+// and puts the socket into service as the slot's next incarnation. The
+// connection is closed on any error.
+func (r *Receiver) Join(conn net.Conn) error {
+	hdr := make([]byte, headerSize)
+	_ = conn.SetDeadline(time.Now().Add(r.cfg.JoinTimeout))
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("multipath: read join: %w", err)
+	}
+	if hdr[0] != frameJoin {
+		_ = conn.Close()
+		return fmt.Errorf("multipath: expected JOIN, got frame type %d", hdr[0])
+	}
+	channel := binary.BigEndian.Uint64(hdr[1:9])
+	idx := int(binary.BigEndian.Uint32(hdr[9:13]))
+	r.mu.Lock()
+	ok := !r.closed && channel == r.cfg.ChannelID && idx >= 0 && idx < len(r.conns)
+	r.mu.Unlock()
+	if !ok {
+		_ = conn.Close()
+		return fmt.Errorf("%w: channel %d subflow %d", ErrJoinRejected, channel, idx)
+	}
+	if _, err := conn.Write(hdr); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("multipath: write join ack: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = conn.Close()
+		return net.ErrClosed
+	}
+	old := r.conns[idx]
+	r.conns[idx] = conn
+	r.epoch[idx]++
+	epoch := r.epoch[idx]
+	if !r.alive[idx] {
+		r.alive[idx] = true
+		r.deadN--
+	}
+	r.recvBy[idx] = 0
+	// A rejoin can revive a channel declared dead before the application
+	// observed the failure.
+	if r.failed == ErrAllSubflowsDead {
+		r.failed = nil
+	}
+	r.wg.Add(1)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if old != nil && old != conn {
+		_ = old.Close()
+	}
+	r.scope.Event(obs.EventSubflowRejoin,
+		fmt.Sprintf("subflow %d rejoined (epoch %d)", idx, epoch))
+	go r.readLoop(conn, idx, epoch)
+	return nil
+}
+
+// readLoop consumes frames from one incarnation of subflow slot i.
+func (r *Receiver) readLoop(conn net.Conn, i int, epoch uint64) {
 	defer r.wg.Done()
 	hdr := make([]byte, headerSize)
 	for {
-		if _, err := io.ReadFull(r.conns[i], hdr); err != nil {
-			r.subflowDied(err)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			r.subflowDied(i, epoch)
 			return
 		}
 		switch hdr[0] {
 		case frameData:
 			seq := binary.BigEndian.Uint64(hdr[1:9])
 			length := binary.BigEndian.Uint32(hdr[9:13])
-			data := make([]byte, length)
-			if _, err := io.ReadFull(r.conns[i], data); err != nil {
-				r.subflowDied(err)
+			// The 32-bit wire length is attacker-controlled; allocating
+			// it unchecked would make a 13-byte frame cost 4 GiB.
+			if int64(length) > int64(r.cfg.MaxSegBytes) {
+				_ = conn.Close()
+				r.subflowDied(i, epoch)
 				return
 			}
-			r.ingest(i, seq, data)
+			data := make([]byte, length)
+			if _, err := io.ReadFull(conn, data); err != nil {
+				r.subflowDied(i, epoch)
+				return
+			}
+			r.ingest(i, epoch, seq, data)
 		case frameFin:
 			seq := binary.BigEndian.Uint64(hdr[1:9])
 			r.mu.Lock()
@@ -129,7 +234,8 @@ func (r *Receiver) readLoop(i int) {
 			// Final ACK so the sender's Close completes promptly.
 			r.sendAck(i)
 		default:
-			r.subflowDied(errors.New("multipath: unexpected frame type"))
+			_ = conn.Close()
+			r.subflowDied(i, epoch)
 			return
 		}
 	}
@@ -137,11 +243,20 @@ func (r *Receiver) readLoop(i int) {
 
 // ingest stores a segment, advances the in-order point, and acks: a
 // subflow-level ack immediately (it keeps the subflow's window moving) and
-// a connection-level cumulative ack every AckEvery deliveries.
-func (r *Receiver) ingest(i int, seq uint64, data []byte) {
+// a connection-level cumulative ack every AckEvery deliveries — unless the
+// application has stopped reading and delivered is over the buffer cap,
+// in which case the cumulative ack is withheld until Read drains.
+func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 	r.mu.Lock()
-	r.recvBy[i]++
-	subCount := r.recvBy[i]
+	// Data frames are valid regardless of which incarnation carried them
+	// (the sender retransmits anything unacked), but per-incarnation
+	// sub-ack counts from a stale socket must not reach the fresh one.
+	current := r.epoch[i] == epoch
+	var subCount uint64
+	if current {
+		r.recvBy[i]++
+		subCount = r.recvBy[i]
+	}
 	if seq >= r.expected {
 		if _, dup := r.reorder[seq]; !dup {
 			r.reorder[seq] = data
@@ -163,6 +278,11 @@ func (r *Receiver) ingest(i int, seq uint64, data []byte) {
 	// completely — the tail of a transfer would otherwise never be
 	// cumulatively acknowledged and the sender's Close would hang.
 	needAck := r.sinceAck >= r.cfg.AckEvery || (advanced && len(r.reorder) == 0)
+	if needAck && len(r.delivered) > r.cfg.MaxBufferedBytes {
+		r.ackHeld = true
+		r.ackHeldOn = i
+		needAck = false
+	}
 	if needAck {
 		r.sinceAck = 0
 	}
@@ -171,7 +291,9 @@ func (r *Receiver) ingest(i int, seq uint64, data []byte) {
 	}
 	r.reorderDepth.Set(int64(len(r.reorder)))
 	r.mu.Unlock()
-	r.sendSubAck(i, subCount)
+	if current {
+		r.sendSubAck(i, subCount)
+	}
 	if needAck {
 		r.sendAck(i)
 	}
@@ -183,8 +305,11 @@ func (r *Receiver) sendSubAck(i int, count uint64) {
 	ack := make([]byte, headerSize)
 	ack[0] = frameSubAck
 	binary.BigEndian.PutUint64(ack[1:9], count)
+	r.mu.Lock()
+	conn := r.conns[i]
+	r.mu.Unlock()
 	r.wmu[i].Lock()
-	_, _ = r.conns[i].Write(ack)
+	_, _ = conn.Write(ack)
 	r.wmu[i].Unlock()
 }
 
@@ -193,17 +318,18 @@ func (r *Receiver) sendSubAck(i int, count uint64) {
 func (r *Receiver) sendAck(i int) {
 	r.mu.Lock()
 	cum := r.expected
+	conns := append([]net.Conn(nil), r.conns...)
 	r.mu.Unlock()
 	ack := make([]byte, headerSize)
 	ack[0] = frameAck
 	binary.BigEndian.PutUint64(ack[1:9], cum)
 	r.wmu[i].Lock()
-	_, err := r.conns[i].Write(ack)
+	_, err := conns[i].Write(ack)
 	r.wmu[i].Unlock()
 	if err == nil {
 		return
 	}
-	for j, c := range r.conns {
+	for j, c := range conns {
 		if j == i {
 			continue
 		}
@@ -216,19 +342,26 @@ func (r *Receiver) sendAck(i int) {
 	}
 }
 
-// subflowDied records a reader failure; the stream fails only when every
-// subflow is gone and the FIN has not been satisfied.
-func (r *Receiver) subflowDied(err error) {
+// subflowDied records a reader failure for one incarnation; stale
+// incarnations (already superseded by a Join) are ignored, orderly
+// teardown (Close, or FIN satisfied) is not a failure, and the stream
+// fails only when every subflow is gone.
+func (r *Receiver) subflowDied(i int, epoch uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.epoch[i] != epoch || !r.alive[i] {
+		return
+	}
+	r.alive[i] = false
 	r.deadN++
+	if r.closed || (r.finSeen && r.expected >= r.finSeq) {
+		r.cond.Broadcast()
+		return
+	}
 	r.scope.Event(obs.EventSubflowDown,
 		"receive side, "+strconv.Itoa(len(r.conns)-r.deadN)+" alive")
-	if r.deadN >= len(r.conns) && !(r.finSeen && r.expected >= r.finSeq) {
-		if r.failed == nil {
-			r.failed = ErrAllSubflowsDead
-		}
-		_ = err
+	if r.deadN >= len(r.conns) && r.failed == nil {
+		r.failed = ErrAllSubflowsDead
 	}
 	r.cond.Broadcast()
 }

@@ -1,0 +1,358 @@
+package multipath
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cronets/internal/obs"
+)
+
+// joinableReceiver starts a receiver whose listener routes the first n
+// accepted connections to the initial subflow set and every later one
+// through Join — the shape a proxy process would use.
+func joinableReceiver(t *testing.T, n int, cfg Config) (*Receiver, []net.Conn, net.Listener) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+
+	var senderConns, receiverConns []net.Conn
+	accepted := make(chan net.Conn)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		senderConns = append(senderConns, c)
+		receiverConns = append(receiverConns, <-accepted)
+	}
+	r, err := NewReceiver(receiverConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	// Late arrivals are JOIN attempts.
+	go func() {
+		for c := range accepted {
+			_ = r.Join(c)
+		}
+	}()
+	return r, senderConns, ln
+}
+
+// TestSubflowRejoin: a subflow killed mid-transfer is redialed, rejoins
+// via the JOIN handshake, and the transfer completes byte-identical with
+// the subflow back in service.
+func TestSubflowRejoin(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{
+		MaxSegBytes:      4 << 10,
+		ChannelID:        77,
+		ReconnectBackoff: 5 * time.Millisecond,
+		Obs:              reg,
+	}
+	r, senderConns, ln := joinableReceiver(t, 2, cfg)
+	cfg.Dialer = func(int) (net.Conn, error) {
+		return net.Dial("tcp", ln.Addr().String())
+	}
+	s, err := NewSender(senderConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := randomPayload(21, 2<<20)
+	var (
+		got     []byte
+		readErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, readErr = io.ReadAll(r)
+	}()
+
+	half := len(payload) / 2
+	if _, err := s.Write(payload[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// Kill subflow 0's socket (path failure); the reconnect loop should
+	// bring the slot back.
+	_ = senderConns[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && s.AliveSubflows() < 2 {
+		if _, err := s.Write(payload[half : half+1]); err != nil {
+			t.Fatalf("write during failover: %v", err)
+		}
+		half++
+		time.Sleep(time.Millisecond)
+	}
+	if s.AliveSubflows() != 2 {
+		t.Fatalf("subflow never rejoined: alive = %d", s.AliveSubflows())
+	}
+	if _, err := s.Write(payload[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	if readErr != nil {
+		t.Fatalf("read: %v", readErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted across rejoin: got %d want %d bytes", len(got), len(payload))
+	}
+	if v := reg.Counter("cronets_multipath_rejoins_total", "").Value(); v < 1 {
+		t.Errorf("rejoins counter = %d, want >= 1", v)
+	}
+	rejoins := 0
+	for _, e := range reg.Events().Snapshot() {
+		if e.Type == obs.EventSubflowRejoin {
+			rejoins++
+		}
+	}
+	if rejoins < 2 { // one sender-side, one receiver-side
+		t.Errorf("subflow-rejoin events = %d, want >= 2", rejoins)
+	}
+}
+
+// TestReconnectGivesUp: when the dialer keeps failing, the sender retries
+// its bounded attempts and then reports all subflows dead.
+func TestReconnectGivesUp(t *testing.T) {
+	sConns, rConns := tcpPairs(t, 1)
+	cfg := Config{
+		ChannelID:         1,
+		ReconnectAttempts: 2,
+		ReconnectBackoff:  time.Millisecond,
+		CloseTimeout:      time.Second,
+	}
+	cfg.Dialer = func(int) (net.Conn, error) {
+		return nil, errors.New("no route")
+	}
+	s, err := NewSender(sConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(rConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_ = sConns[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.Write(randomPayload(1, 64<<10)); err != nil {
+			if !errors.Is(err, ErrAllSubflowsDead) {
+				t.Fatalf("err = %v, want ErrAllSubflowsDead", err)
+			}
+			return
+		}
+	}
+	t.Fatal("writes kept succeeding with the only subflow dead and redials failing")
+}
+
+// TestJoinRejectsWrongChannel: a JOIN for a different channel ID is
+// refused and the socket closed.
+func TestJoinRejectsWrongChannel(t *testing.T) {
+	_, rConns := pipes(1)
+	r, err := NewReceiver(rConns, Config{ChannelID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	a, b := net.Pipe()
+	defer a.Close()
+	go func() {
+		hdr := make([]byte, headerSize)
+		hdr[0] = frameJoin
+		binary.BigEndian.PutUint64(hdr[1:9], 99) // wrong channel
+		binary.BigEndian.PutUint32(hdr[9:13], 0)
+		_, _ = a.Write(hdr)
+	}()
+	if err := r.Join(b); !errors.Is(err, ErrJoinRejected) {
+		t.Errorf("Join = %v, want ErrJoinRejected", err)
+	}
+	// The socket must be closed after rejection.
+	_ = a.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := a.Read(make([]byte, 1)); err == nil {
+		t.Error("rejected join left the socket open")
+	}
+}
+
+// TestJoinRejectsBadIndex: a JOIN naming a subflow slot that does not
+// exist is refused.
+func TestJoinRejectsBadIndex(t *testing.T) {
+	_, rConns := pipes(1)
+	r, err := NewReceiver(rConns, Config{ChannelID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	a, b := net.Pipe()
+	defer a.Close()
+	go func() {
+		hdr := make([]byte, headerSize)
+		hdr[0] = frameJoin
+		binary.BigEndian.PutUint64(hdr[1:9], 7)
+		binary.BigEndian.PutUint32(hdr[9:13], 5) // slot 5 of a 1-subflow channel
+		_, _ = a.Write(hdr)
+	}()
+	if err := r.Join(b); !errors.Is(err, ErrJoinRejected) {
+		t.Errorf("Join = %v, want ErrJoinRejected", err)
+	}
+}
+
+// TestOversizedFrameRejected (regression): a data frame advertising a
+// 4 GiB-scale length must be rejected against MaxSegBytes, not allocated.
+// Pre-fix the receiver did make([]byte, length) straight off the wire.
+func TestOversizedFrameRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	r, err := NewReceiver([]net.Conn{b}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	go func() {
+		hdr := make([]byte, headerSize)
+		hdr[0] = frameData
+		binary.BigEndian.PutUint64(hdr[1:9], 0)
+		binary.BigEndian.PutUint32(hdr[9:13], 0xfffffff0) // ~4 GiB claim
+		_, _ = a.Write(hdr)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(r)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("oversized frame should fail the stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver hung on an oversized frame instead of rejecting it")
+	}
+}
+
+// TestReceiverBackpressure (regression): with the application not
+// reading, the receiver's delivered buffer must stay near
+// MaxBufferedBytes (cap + one sender window) instead of absorbing the
+// whole transfer; once the application reads, the withheld ACKs resume
+// and the full payload arrives intact.
+func TestReceiverBackpressure(t *testing.T) {
+	sConns, rConns := tcpPairs(t, 1)
+	cfg := Config{
+		MaxSegBytes:      4 << 10,
+		WindowSegs:       4,
+		AckEvery:         1,
+		MaxBufferedBytes: 32 << 10,
+	}
+	s, err := NewSender(sConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(rConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	payload := randomPayload(31, 1<<20)
+	writeDone := make(chan error, 1)
+	go func() {
+		if _, err := s.Write(payload); err != nil {
+			writeDone <- err
+			return
+		}
+		writeDone <- s.Close()
+	}()
+
+	// Without a reader, the buffer must plateau at cap + window, far
+	// below the 1 MiB payload. Pre-fix it absorbed everything.
+	limit := cfg.MaxBufferedBytes + cfg.WindowSegs*cfg.MaxSegBytes + cfg.MaxSegBytes
+	time.Sleep(300 * time.Millisecond)
+	if buf := r.Buffered(); buf > limit {
+		t.Fatalf("unread delivered buffer = %d bytes, want <= %d (flow control missing)", buf, limit)
+	}
+	select {
+	case err := <-writeDone:
+		t.Fatalf("sender finished against a non-reading receiver (err=%v); no backpressure", err)
+	default:
+	}
+
+	// Start reading: ACKs resume and the stream completes intact.
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted under backpressure: got %d want %d bytes", len(got), len(payload))
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+}
+
+// TestCleanCloseNoSpuriousFailover (regression): a clean transfer must
+// not record subflow deaths or retransmits when Close tears the conns
+// down after the FIN — pre-fix every ackLoop's read error fired
+// subflowDied.
+func TestCleanCloseNoSpuriousFailover(t *testing.T) {
+	reg := obs.NewRegistry()
+	sConns, rConns := tcpPairs(t, 2)
+	cfg := Config{Obs: reg}
+	s, err := NewSender(sConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(rConns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = io.Copy(io.Discard, r)
+	}()
+	if _, err := s.Write(randomPayload(41, 512<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+	wg.Wait()
+	_ = r.Close()
+
+	if v := reg.Counter("cronets_multipath_retransmits_total", "").Value(); v != 0 {
+		t.Errorf("retransmits after clean close = %d, want 0", v)
+	}
+	for _, e := range reg.Events().Snapshot() {
+		if e.Type == obs.EventSubflowDown {
+			t.Errorf("spurious subflow-down event after clean close: %s", e.Detail)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cronets/internal/obs"
@@ -35,11 +36,15 @@ type Config struct {
 	// ChunkBytes is the shaping granularity (default 16 KiB). Smaller
 	// chunks emulate latency more faithfully at more CPU cost.
 	ChunkBytes int
-	// Seed drives jitter; 0 uses a fixed default. All connections through
-	// a proxy share one seeded source, so an impairment run is
-	// reproducible end to end.
+	// Seed drives jitter and probabilistic fault arming; 0 uses a fixed
+	// default. All connections through a proxy share one seeded source,
+	// so an impairment run is reproducible end to end.
 	Seed int64
-	// Obs receives shaping metrics (nil disables instrumentation).
+	// Faults scripts path failures (kills, blackholes, refused
+	// connects); the zero value injects nothing.
+	Faults FaultPlan
+	// Obs receives shaping metrics and fault events (nil disables
+	// instrumentation).
 	Obs *obs.Registry
 }
 
@@ -55,14 +60,24 @@ type Proxy struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// connSeq numbers accepted connections so fault rules can target
+	// "the Nth connection"; refuseN is the remaining refuse budget.
+	connSeq atomic.Int64
+	refuseN atomic.Int64
+
 	shapedUp   *obs.Counter
 	shapedDown *obs.Counter
 	delayHist  *obs.Histogram
+	faults     *obs.Counter
+	refused    *obs.Counter
+	scope      *obs.Scope
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	// stopc releases blackholed directions on Close.
+	stopc chan struct{}
+	wg    sync.WaitGroup
 }
 
 // ErrProxyClosed is returned by Serve after Close.
@@ -83,7 +98,9 @@ func New(ln net.Listener, target string, cfg Config) *Proxy {
 		ln:     ln,
 		rng:    rand.New(rand.NewSource(seed)),
 		conns:  make(map[net.Conn]struct{}),
+		stopc:  make(chan struct{}),
 	}
+	p.refuseN.Store(int64(cfg.Faults.RefuseConns))
 	p.shapedUp = cfg.Obs.Counter(obs.Label("cronets_netem_shaped_bytes_total", "dir", "up"),
 		"Bytes forwarded through the shaper by direction.")
 	p.shapedDown = cfg.Obs.Counter(obs.Label("cronets_netem_shaped_bytes_total", "dir", "down"),
@@ -91,6 +108,11 @@ func New(ln net.Listener, target string, cfg Config) *Proxy {
 	p.delayHist = cfg.Obs.Histogram("cronets_netem_added_delay_seconds",
 		"Artificial delay (latency + jitter) added per forwarded chunk.",
 		obs.LatencyBuckets)
+	p.faults = cfg.Obs.Counter("cronets_netem_faults_total",
+		"Faults injected (kills, blackholes, refused connects).")
+	p.refused = cfg.Obs.Counter("cronets_netem_refused_total",
+		"Inbound connections refused by the fault plan.")
+	p.scope = cfg.Obs.Scope("netem")
 	return p
 }
 
@@ -120,10 +142,15 @@ func (p *Proxy) Serve() error {
 			}
 			return fmt.Errorf("netem: accept: %w", err)
 		}
+		idx := p.connSeq.Add(1) - 1
+		if p.tryRefuse(idx) {
+			_ = conn.Close()
+			continue
+		}
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.handle(conn)
+			p.handle(idx, conn)
 		}()
 	}
 }
@@ -136,6 +163,7 @@ func (p *Proxy) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.stopc)
 	for c := range p.conns {
 		_ = c.Close()
 	}
@@ -145,7 +173,7 @@ func (p *Proxy) Close() error {
 	return err
 }
 
-func (p *Proxy) handle(down net.Conn) {
+func (p *Proxy) handle(idx int64, down net.Conn) {
 	defer down.Close()
 	up, err := net.DialTimeout("tcp", p.target, 10*time.Second)
 	if err != nil {
@@ -168,16 +196,23 @@ func (p *Proxy) handle(down net.Conn) {
 		p.mu.Unlock()
 	}()
 
+	upRules, downRules, all := p.armFaults(idx, down, up)
+	defer func() {
+		for _, a := range all {
+			a.stop()
+		}
+	}()
+
 	done := make(chan struct{}, 2)
 	go func() {
-		p.shapeCopy(up, down, p.cfg.Up, p.shapedUp)
+		p.shapeCopy(up, down, p.cfg.Up, p.shapedUp, upRules)
 		if tc, ok := up.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
 		done <- struct{}{}
 	}()
 	go func() {
-		p.shapeCopy(down, up, p.cfg.Down, p.shapedDown)
+		p.shapeCopy(down, up, p.cfg.Down, p.shapedDown, downRules)
 		if tc, ok := down.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
@@ -189,12 +224,33 @@ func (p *Proxy) handle(down net.Conn) {
 
 // shapeCopy copies src to dst applying the impairment, drawing jitter from
 // the proxy's seeded source and recording shaped bytes + added delay.
-func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *obs.Counter) {
+// rules are this direction's armed fault rules: byte-offset triggers are
+// enforced exactly (chunks are split at the offset) and a blackholed
+// direction parks here, keeping the sockets open, until the proxy closes.
+func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *obs.Counter, rules []*armedRule) {
 	buf := make([]byte, p.cfg.ChunkBytes)
 	var budget time.Time // rate-limit pacing horizon
+	var fwd int64        // bytes forwarded in this direction
 	for {
-		n, err := src.Read(buf)
-		if n > 0 {
+		rn, err := src.Read(buf)
+		chunk := buf[:rn]
+		for len(chunk) > 0 {
+			// A blackholed direction parks until the proxy closes,
+			// keeping both sockets open — the silent-failure mode.
+			for _, a := range rules {
+				if a.blackhole.Load() {
+					<-p.stopc
+					return
+				}
+			}
+			// Split the chunk at the nearest pending byte-offset trigger
+			// so the fault lands exactly on its offset.
+			n := len(chunk)
+			for _, a := range rules {
+				if a.rule.AfterBytes > fwd && a.rule.AfterBytes < fwd+int64(n) {
+					n = int(a.rule.AfterBytes - fwd)
+				}
+			}
 			delay := imp.Latency + p.jitter(imp.Jitter)
 			if imp.RateMbps > 0 {
 				cost := time.Duration(float64(n*8) / (imp.RateMbps * 1e6) * float64(time.Second))
@@ -211,10 +267,17 @@ func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *
 				time.Sleep(delay)
 			}
 			p.delayHist.Observe(delay.Seconds())
-			if _, werr := dst.Write(buf[:n]); werr != nil {
+			if _, werr := dst.Write(chunk[:n]); werr != nil {
 				return
 			}
 			shaped.Add(int64(n))
+			fwd += int64(n)
+			chunk = chunk[n:]
+			for _, a := range rules {
+				if a.rule.AfterBytes > 0 && fwd >= a.rule.AfterBytes {
+					a.fire(fmt.Sprintf("at %d bytes", fwd))
+				}
+			}
 		}
 		if err != nil {
 			return

@@ -27,6 +27,15 @@ const (
 	EventACLReject
 	// EventIdleClose is a connection reaped by the idle timeout.
 	EventIdleClose
+	// EventFaultInjected is a netem fault firing (kill, blackhole, or
+	// refused connect).
+	EventFaultInjected
+	// EventSubflowRejoin is a reconnected subflow rejoining its multipath
+	// channel via the JOIN handshake.
+	EventSubflowRejoin
+	// EventDialRetry is a transient upstream dial failure being retried
+	// with backoff.
+	EventDialRetry
 )
 
 // String returns the event type's wire name.
@@ -46,6 +55,12 @@ func (t EventType) String() string {
 		return "acl-reject"
 	case EventIdleClose:
 		return "idle-close"
+	case EventFaultInjected:
+		return "fault-injected"
+	case EventSubflowRejoin:
+		return "subflow-rejoin"
+	case EventDialRetry:
+		return "dial-retry"
 	default:
 		return "unknown"
 	}

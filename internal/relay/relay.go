@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cronets/internal/obs"
@@ -32,8 +33,15 @@ type Config struct {
 	// Target is the fixed destination for forward mode ("" enables the
 	// CONNECT handshake instead).
 	Target string
-	// DialTimeout bounds upstream dials (default 10 s).
+	// DialTimeout bounds each upstream dial attempt (default 10 s).
 	DialTimeout time.Duration
+	// DialRetries is how many extra upstream dial attempts follow a
+	// transient failure (connection refused, timeout) before the relay
+	// gives up (default 0: fail fast).
+	DialRetries int
+	// DialRetryBackoff is the pause before the first retry, doubling
+	// each attempt (default 50 ms).
+	DialRetryBackoff time.Duration
 	// IdleTimeout closes connections with no traffic in either direction
 	// (default 5 min; 0 disables).
 	IdleTimeout time.Duration
@@ -67,6 +75,12 @@ type Stats struct {
 	// from Errors so open-relay probing is distinguishable from upstream
 	// trouble.
 	Rejected atomic.Int64
+	// Overloaded counts connections dropped at accept because MaxConns
+	// capacity was exhausted — load shedding, not an error.
+	Overloaded atomic.Int64
+	// DialRetries counts upstream dial attempts retried after a
+	// transient failure.
+	DialRetries atomic.Int64
 }
 
 // Relay is a running overlay relay listening for downstream connections.
@@ -95,6 +109,12 @@ var errACLRejected = errors.New("relay: target forbidden by ACL")
 func New(ln net.Listener, cfg Config) *Relay {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.DialRetries < 0 {
+		cfg.DialRetries = 0
+	}
+	if cfg.DialRetryBackoff <= 0 {
+		cfg.DialRetryBackoff = 50 * time.Millisecond
 	}
 	if cfg.IdleTimeout < 0 {
 		cfg.IdleTimeout = 0
@@ -138,6 +158,10 @@ func (r *Relay) instrument(reg *obs.Registry) {
 		"Failed relay attempts (dials, broken pipes).", r.stats.Errors.Load)
 	reg.CounterFunc("cronets_relay_rejected_total",
 		"CONNECT attempts refused by the ACL.", r.stats.Rejected.Load)
+	reg.CounterFunc("cronets_relay_overloaded_total",
+		"Connections dropped at accept because MaxConns was reached.", r.stats.Overloaded.Load)
+	reg.CounterFunc("cronets_relay_dial_retries_total",
+		"Upstream dial attempts retried after a transient failure.", r.stats.DialRetries.Load)
 }
 
 // Addr returns the relay's listen address.
@@ -160,9 +184,12 @@ func (r *Relay) Serve() error {
 			}
 			return fmt.Errorf("relay: accept: %w", err)
 		}
-		if int(r.stats.Active.Load()) >= r.cfg.MaxConns {
+		// Reserve capacity atomically at accept time: the handler
+		// goroutine may not have run yet, so checking Active without
+		// reserving would let an accept burst sail past the cap.
+		if !r.reserve() {
 			_ = conn.Close()
-			r.stats.Errors.Add(1)
+			r.stats.Overloaded.Add(1)
 			continue
 		}
 		r.track(conn)
@@ -199,6 +226,20 @@ func (r *Relay) Close() error {
 	return err
 }
 
+// reserve claims one unit of MaxConns capacity via compare-and-swap on
+// the Active counter; the handler's deferred decrement releases it.
+func (r *Relay) reserve() bool {
+	for {
+		cur := r.stats.Active.Load()
+		if cur >= int64(r.cfg.MaxConns) {
+			return false
+		}
+		if r.stats.Active.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
 func (r *Relay) track(c net.Conn) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -212,9 +253,10 @@ func (r *Relay) untrack(c net.Conn) {
 	_ = c.Close()
 }
 
-// handle relays one downstream connection.
+// handle relays one downstream connection. The caller has already
+// reserved MaxConns capacity (Stats.Active); the deferred decrement
+// releases it.
 func (r *Relay) handle(down net.Conn) error {
-	r.stats.Active.Add(1)
 	defer r.stats.Active.Add(-1)
 
 	target := r.cfg.Target
@@ -242,10 +284,7 @@ func (r *Relay) handle(down net.Conn) error {
 		r.scope.Event(obs.EventConnect, t)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
-	dialStart := time.Now()
-	up, err := r.cfg.Dialer.DialContext(ctx, "tcp", target)
-	cancel()
+	up, err := r.dialUpstream(target)
 	if err != nil {
 		if br != nil {
 			_, _ = io.WriteString(down, "ERR dial failed\n")
@@ -253,7 +292,6 @@ func (r *Relay) handle(down net.Conn) error {
 		r.scope.Event(obs.EventDial, "fail "+target)
 		return fmt.Errorf("relay: dial %s: %w", target, err)
 	}
-	r.dialLatency.ObserveDuration(time.Since(dialStart))
 	r.scope.Event(obs.EventDial, "ok "+target)
 	defer up.Close()
 	r.track(up)
@@ -270,6 +308,44 @@ func (r *Relay) handle(down net.Conn) error {
 		downReader = io.MultiReader(io.LimitReader(br, int64(br.Buffered())), down)
 	}
 	return r.pipe(down, downReader, up)
+}
+
+// dialUpstream dials the target, retrying transient failures (refused,
+// timeout) up to DialRetries times with exponential backoff — the cloud
+// overlay's answer to a relay or destination that is briefly unreachable
+// while it restarts or fails over.
+func (r *Relay) dialUpstream(target string) (net.Conn, error) {
+	backoff := r.cfg.DialRetryBackoff
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+		dialStart := time.Now()
+		up, err := r.cfg.Dialer.DialContext(ctx, "tcp", target)
+		cancel()
+		if err == nil {
+			r.dialLatency.ObserveDuration(time.Since(dialStart))
+			return up, nil
+		}
+		if attempt >= r.cfg.DialRetries || !transientDialError(err) {
+			return nil, err
+		}
+		r.stats.DialRetries.Add(1)
+		r.scope.Event(obs.EventDialRetry,
+			fmt.Sprintf("%s attempt %d: %v", target, attempt+1, err))
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// transientDialError reports whether a dial failure is worth retrying:
+// timeouts and refused connections pass, everything else (unreachable
+// network, bad address) fails fast.
+func transientDialError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // pipe copies both directions until either side closes or the idle timeout

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -325,5 +327,174 @@ func TestConnectModePipelinedData(t *testing.T) {
 	}
 	if string(buf) != "early" {
 		t.Errorf("pipelined data = %q", buf)
+	}
+}
+
+// flakyDialer fails its first n dials with ECONNREFUSED, then delegates
+// to a real dialer — a target that refuses until it finishes restarting.
+type flakyDialer struct {
+	mu       sync.Mutex
+	failures int
+	attempts int
+	inner    net.Dialer
+}
+
+func (d *flakyDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	d.attempts++
+	refuse := d.attempts <= d.failures
+	d.mu.Unlock()
+	if refuse {
+		return nil, &net.OpError{Op: "dial", Net: network, Err: syscall.ECONNREFUSED}
+	}
+	return d.inner.DialContext(ctx, network, addr)
+}
+
+// TestDialRetrySucceeds: a target refusing the first N connects is still
+// reached once the bounded retry loop outlasts the refusals, and the
+// retries are counted.
+func TestDialRetrySucceeds(t *testing.T) {
+	echo := echoServer(t)
+	dialer := &flakyDialer{failures: 2}
+	r := startRelay(t, Config{
+		Target:           echo.Addr().String(),
+		Dialer:           dialer,
+		DialRetries:      3,
+		DialRetryBackoff: 5 * time.Millisecond,
+	})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "after restart"); got != "after restart" {
+		t.Errorf("echo = %q", got)
+	}
+	if got := r.Stats().DialRetries.Load(); got != 2 {
+		t.Errorf("dial retries = %d, want 2", got)
+	}
+	if got := r.Stats().Errors.Load(); got != 0 {
+		t.Errorf("errors = %d, want 0 (retries are not errors)", got)
+	}
+}
+
+// TestDialRetryExhausted: when refusals outlast the retry budget the
+// relay gives up and counts one error.
+func TestDialRetryExhausted(t *testing.T) {
+	echo := echoServer(t)
+	dialer := &flakyDialer{failures: 10}
+	r := startRelay(t, Config{
+		Target:           echo.Addr().String(),
+		Dialer:           dialer,
+		DialRetries:      2,
+		DialRetryBackoff: time.Millisecond,
+	})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("connection should drop once retries are exhausted")
+	}
+	waitFor(t, func() bool { return r.Stats().Errors.Load() == 1 })
+	if got := r.Stats().DialRetries.Load(); got != 2 {
+		t.Errorf("dial retries = %d, want 2", got)
+	}
+}
+
+// TestNonTransientDialNotRetried: an unreachable-network style failure
+// fails fast even with retries configured.
+func TestNonTransientDialNotRetried(t *testing.T) {
+	if transientDialError(errors.New("no such host")) {
+		t.Error("generic error classified transient")
+	}
+	if !transientDialError(&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}) {
+		t.Error("ECONNREFUSED should be transient")
+	}
+	if !transientDialError(context.DeadlineExceeded) {
+		t.Error("deadline exceeded should be transient")
+	}
+}
+
+// holdServer accepts connections and holds them open without answering,
+// so relayed connections stay Active for the duration of the test.
+func holdServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var held []net.Conn
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, conn)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		mu.Lock()
+		for _, c := range held {
+			_ = c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln
+}
+
+// TestMaxConnsAcceptBurst (regression): a burst of simultaneous connects
+// must never overshoot MaxConns. Pre-fix, Serve checked Stats.Active —
+// which the handler goroutine increments later — so a burst sailed
+// through; capacity is now reserved atomically at accept time and the
+// shed connections land in Stats.Overloaded, not Stats.Errors.
+func TestMaxConnsAcceptBurst(t *testing.T) {
+	const maxConns, burst = 4, 32
+	hold := holdServer(t)
+	r := startRelay(t, Config{Target: hold.Addr().String(), MaxConns: maxConns})
+
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", r.Addr().String())
+			if err == nil {
+				conns[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+
+	waitFor(t, func() bool {
+		return r.Stats().Accepted.Load()+r.Stats().Overloaded.Load() == burst
+	})
+	st := r.Stats()
+	if got := st.Accepted.Load(); got != maxConns {
+		t.Errorf("accepted = %d, want exactly %d (cap overshot)", got, maxConns)
+	}
+	if got := st.Active.Load(); got > maxConns {
+		t.Errorf("active = %d, want <= %d", got, maxConns)
+	}
+	if got := st.Overloaded.Load(); got != burst-maxConns {
+		t.Errorf("overloaded = %d, want %d", got, burst-maxConns)
+	}
+	if got := st.Errors.Load(); got != 0 {
+		t.Errorf("errors = %d, want 0 (shedding is not an error)", got)
 	}
 }
