@@ -1,14 +1,16 @@
 # CRONets reproduction — build/test gates.
 #
-#   make build   compile everything
-#   make test    tier-1 gate: go build ./... && go test ./...
-#   make race    race-detector pass over the full tree
-#   make vet     static checks
-#   make check   all of the above
+#   make build        compile everything
+#   make test         tier-1 gate: go build ./... && go test ./...
+#   make test-short   fast inner-loop gate: go test -short ./...
+#   make race         race-detector pass over the full tree
+#   make vet          static checks
+#   make fmt          gofmt diff gate (fails if any file needs formatting)
+#   make check        all of the above
 
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test test-short race vet fmt check
 
 build:
 	$(GO) build ./...
@@ -16,10 +18,19 @@ build:
 test: build
 	$(GO) test ./...
 
+test-short: build
+	$(GO) test -short ./...
+
 race:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
-check: vet test race
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+check: fmt vet test race

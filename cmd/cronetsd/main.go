@@ -1,13 +1,24 @@
-// Command cronetsd runs a CRONets overlay relay node over real sockets:
-// either a fixed-target forwarder (one branch office pinned to another) or
-// a CONNECT-mode split-TCP proxy that terminates the client's connection
-// and opens its own toward the requested destination.
+// Command cronetsd runs a CRONets overlay node over real sockets, in one
+// of two roles:
+//
+// Relay (default): either a fixed-target forwarder (one branch office
+// pinned to another) or a CONNECT-mode split-TCP proxy that terminates
+// the client's connection and opens its own toward the requested
+// destination.
+//
+// Gateway (-gateway-addr): the client-side control plane. A pathmon
+// monitor continuously probes the direct path and every relay in -fleet
+// toward -target, and the gateway listener fronts -target, steering each
+// new connection onto the current best path (direct or via the best
+// relay) with fallback to the next-ranked path on dial failure.
 //
 // Usage:
 //
 //	cronetsd -listen :9000                      # CONNECT-mode split proxy
 //	cronetsd -listen :9000 -target 10.0.0.2:443 # fixed-target forwarder
 //	cronetsd -listen :9000 -metrics-addr :9090  # + observability endpoints
+//	cronetsd -gateway-addr :8080 -target dst:7 -fleet r1:9000,r2:9000 \
+//	    -probe-interval 5s                      # client gateway
 //
 // With -metrics-addr set, the node serves /metrics (Prometheus text),
 // /metrics.json (JSON snapshot), /debug/vars (expvar JSON including the
@@ -28,63 +39,100 @@ import (
 	"syscall"
 	"time"
 
+	"cronets/internal/gateway"
 	"cronets/internal/obs"
+	"cronets/internal/pathmon"
 	"cronets/internal/relay"
 )
 
+// options collects every flag; one struct instead of a dozen positional
+// parameters.
+type options struct {
+	listen      string
+	target      string
+	idle        time.Duration
+	maxConn     int
+	bufKB       int
+	allow       string
+	metricsAddr string
+	statsEvery  time.Duration
+	dialRetries int
+	dialBackoff time.Duration
+
+	// Gateway-mode flags.
+	gatewayAddr   string
+	fleet         string
+	probeInterval time.Duration
+	probeTarget   string
+	switchMargin  float64
+	switchRounds  int
+}
+
 func main() {
-	var (
-		listen      = flag.String("listen", ":9000", "address to listen on")
-		target      = flag.String("target", "", "fixed forward target (empty = CONNECT mode)")
-		idle        = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
-		maxConn     = flag.Int("max-conns", 1024, "maximum concurrent relayed connections")
-		bufKB       = flag.Int("buffer-kb", 256, "relay buffer per direction in KiB")
-		allow       = flag.String("allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /healthz on this address (empty = disabled)")
-		statsEvery  = flag.Duration("stats-interval", 30*time.Second, "period of the stats summary log line (0 = disabled)")
-		dialRetries = flag.Int("dial-retries", 2, "upstream dial retries on transient errors (refused/timeout)")
-		dialBackoff = flag.Duration("dial-retry-backoff", 50*time.Millisecond, "initial backoff between upstream dial retries (doubles per attempt)")
-	)
+	var o options
+	flag.StringVar(&o.listen, "listen", ":9000", "relay address to listen on")
+	flag.StringVar(&o.target, "target", "", "fixed forward target (relay: empty = CONNECT mode; gateway: the fronted destination, required)")
+	flag.DurationVar(&o.idle, "idle-timeout", 5*time.Minute, "idle connection timeout")
+	flag.IntVar(&o.maxConn, "max-conns", 1024, "maximum concurrent relayed connections")
+	flag.IntVar(&o.bufKB, "buffer-kb", 256, "relay buffer per direction in KiB")
+	flag.StringVar(&o.allow, "allow", "", "comma-separated CIDRs CONNECT targets must fall in (empty = open relay)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars, /healthz on this address (empty = disabled)")
+	flag.DurationVar(&o.statsEvery, "stats-interval", 30*time.Second, "period of the stats summary log line (0 = disabled)")
+	flag.IntVar(&o.dialRetries, "dial-retries", 2, "upstream dial retries on transient errors (refused/timeout)")
+	flag.DurationVar(&o.dialBackoff, "dial-retry-backoff", 50*time.Millisecond, "initial backoff between upstream dial retries (doubles per attempt)")
+	flag.StringVar(&o.gatewayAddr, "gateway-addr", "", "run as a client gateway listening on this address (empty = relay mode)")
+	flag.StringVar(&o.fleet, "fleet", "", "comma-separated relay CONNECT endpoints the gateway's monitor probes")
+	flag.DurationVar(&o.probeInterval, "probe-interval", 5*time.Second, "gateway path-probe round period")
+	flag.StringVar(&o.probeTarget, "probe-target", "", "destination probe endpoint, a measure server (default: -target)")
+	flag.Float64Var(&o.switchMargin, "switch-margin", 0.1, "fraction a challenger path must beat the incumbent by")
+	flag.IntVar(&o.switchRounds, "switch-rounds", 3, "consecutive qualifying rounds before a path switch")
 	flag.Parse()
-	if err := run(*listen, *target, *idle, *maxConn, *bufKB, *allow, *metricsAddr, *statsEvery, *dialRetries, *dialBackoff); err != nil {
+
+	var err error
+	if o.gatewayAddr != "" {
+		err = runGateway(o)
+	} else {
+		err = runRelay(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cronetsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, metricsAddr string, statsEvery time.Duration, dialRetries int, dialBackoff time.Duration) error {
+func runRelay(o options) error {
 	var acl *relay.ACL
-	if allow != "" {
+	if o.allow != "" {
 		var err error
-		acl, err = relay.NewACL(strings.Split(allow, ","), nil)
+		acl, err = relay.NewACL(strings.Split(o.allow, ","), nil)
 		if err != nil {
 			return err
 		}
 	}
 	reg := obs.NewRegistry()
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
-		return fmt.Errorf("listen %s: %w", listen, err)
+		return fmt.Errorf("listen %s: %w", o.listen, err)
 	}
 	r := relay.New(ln, relay.Config{
-		Target:      target,
-		IdleTimeout: idle,
-		MaxConns:    maxConn,
-		BufferBytes: bufKB << 10,
+		Target:      o.target,
+		IdleTimeout: o.idle,
+		MaxConns:    o.maxConn,
+		BufferBytes: o.bufKB << 10,
 		ACL:         acl,
 		Obs:         reg,
 
-		DialRetries:      dialRetries,
-		DialRetryBackoff: dialBackoff,
+		DialRetries:      o.dialRetries,
+		DialRetryBackoff: o.dialBackoff,
 	})
 	mode := "split proxy (CONNECT mode)"
-	if target != "" {
-		mode = "forwarder -> " + target
+	if o.target != "" {
+		mode = "forwarder -> " + o.target
 	}
 	slog.Info("cronetsd listening", "addr", r.Addr().String(), "mode", mode)
 
-	if metricsAddr != "" {
-		msrv, err := serveMetrics(metricsAddr, reg)
+	if o.metricsAddr != "" {
+		msrv, err := serveMetrics(o.metricsAddr, reg)
 		if err != nil {
 			_ = r.Close()
 			return err
@@ -95,14 +143,14 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, m
 	}
 
 	stopSummary := make(chan struct{})
-	if statsEvery > 0 {
+	if o.statsEvery > 0 {
 		go func() {
-			t := time.NewTicker(statsEvery)
+			t := time.NewTicker(o.statsEvery)
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
-					logStats(r, "stats")
+					logRelayStats(r, "stats")
 				case <-stopSummary:
 					return
 				}
@@ -119,7 +167,7 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, m
 	case s := <-sig:
 		close(stopSummary)
 		slog.Info("cronetsd shutting down", "signal", s.String())
-		logStats(r, "final stats")
+		logRelayStats(r, "final stats")
 		return r.Close()
 	case err := <-done:
 		close(stopSummary)
@@ -127,8 +175,103 @@ func run(listen, target string, idle time.Duration, maxConn, bufKB int, allow, m
 	}
 }
 
-// logStats emits one slog summary line from the relay's counters.
-func logStats(r *relay.Relay, msg string) {
+// runGateway runs the client-side control plane: pathmon probing the
+// fleet plus a gateway listener fronting the destination.
+func runGateway(o options) error {
+	if o.target == "" {
+		return fmt.Errorf("gateway mode requires -target (the fronted destination)")
+	}
+	probeTarget := o.probeTarget
+	if probeTarget == "" {
+		probeTarget = o.target
+	}
+	var fleet []string
+	if o.fleet != "" {
+		for _, f := range strings.Split(o.fleet, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fleet = append(fleet, f)
+			}
+		}
+	}
+	reg := obs.NewRegistry()
+
+	mon, err := pathmon.New(pathmon.Config{
+		Dest:         probeTarget,
+		Fleet:        fleet,
+		Interval:     o.probeInterval,
+		SwitchMargin: o.switchMargin,
+		SwitchRounds: o.switchRounds,
+		Obs:          reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	mon.Start()
+
+	gw, err := gateway.New(gateway.Config{
+		Dest:    o.target,
+		Monitor: mon,
+		Obs:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.gatewayAddr)
+	if err != nil {
+		return fmt.Errorf("gateway listen %s: %w", o.gatewayAddr, err)
+	}
+	slog.Info("cronetsd gateway listening", "addr", ln.Addr().String(),
+		"dest", o.target, "probe_target", probeTarget,
+		"fleet", strings.Join(fleet, ","), "probe_interval", o.probeInterval.String())
+
+	if o.metricsAddr != "" {
+		msrv, err := serveMetrics(o.metricsAddr, reg)
+		if err != nil {
+			_ = gw.Close()
+			_ = ln.Close()
+			return err
+		}
+		defer msrv.Close()
+		slog.Info("metrics listening", "addr", msrv.addr,
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /healthz")
+	}
+
+	stopSummary := make(chan struct{})
+	if o.statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(o.statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logGatewayStats(gw, mon, "stats")
+				case <-stopSummary:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- gw.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		close(stopSummary)
+		slog.Info("cronetsd shutting down", "signal", s.String())
+		logGatewayStats(gw, mon, "final stats")
+		return gw.Close()
+	case err := <-done:
+		close(stopSummary)
+		return err
+	}
+}
+
+// logRelayStats emits one slog summary line from the relay's counters.
+func logRelayStats(r *relay.Relay, msg string) {
 	st := r.Stats()
 	slog.Info(msg,
 		"accepted", st.Accepted.Load(),
@@ -139,6 +282,28 @@ func logStats(r *relay.Relay, msg string) {
 		"rejected", st.Rejected.Load(),
 		"overloaded", st.Overloaded.Load(),
 		"dial_retries", st.DialRetries.Load(),
+	)
+}
+
+// logGatewayStats emits one slog summary line from the gateway's counters
+// plus the current best path.
+func logGatewayStats(gw *gateway.Gateway, mon *pathmon.Monitor, msg string) {
+	st := gw.Stats()
+	best, chosen := mon.Best()
+	bestName := "(none)"
+	if chosen {
+		bestName = best.String()
+	}
+	slog.Info(msg,
+		"best_path", bestName,
+		"accepted", st.Accepted.Load(),
+		"active", st.Active.Load(),
+		"dials_direct", st.DialsDirect.Load(),
+		"dials_relay", st.DialsRelay.Load(),
+		"fallbacks", st.Fallbacks.Load(),
+		"dial_failures", st.DialFailures.Load(),
+		"bytes_up", st.BytesUp.Load(),
+		"bytes_down", st.BytesDown.Load(),
 	)
 }
 

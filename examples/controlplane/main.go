@@ -1,0 +1,184 @@
+// Control plane demo — the paper's Fig. 1 scenario on real sockets.
+//
+// A destination (a measure echo server) is reachable two ways: directly
+// over an emulated wide-area link, and through each of three cloud
+// relays, each behind its own emulated link. A pathmon monitor probes
+// all four paths continuously; a gateway fronts the destination and
+// steers every new connection onto the current best path.
+//
+// Mid-run the direct link degrades (netem adds 120 ms of delay — a
+// congested or re-routed Internet path). Within one probe interval plus
+// the hysteresis window the monitor switches, and the gateway's next
+// connections ride a relay instead — no client reconfiguration, no
+// disturbance to established flows.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"cronets/internal/gateway"
+	"cronets/internal/measure"
+	"cronets/internal/netem"
+	"cronets/internal/obs"
+	"cronets/internal/pathmon"
+	"cronets/internal/relay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func listen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+func run() error {
+	reg := obs.NewRegistry()
+
+	// Destination: a measure echo/sink server standing in for the
+	// application the client wants to reach.
+	destLn, err := listen()
+	if err != nil {
+		return err
+	}
+	dest := measure.NewServer(destLn)
+	go dest.Serve() //nolint:errcheck
+	defer dest.Close()
+	destAddr := destLn.Addr().String()
+
+	// Direct path: client -> netem (the wide-area Internet) -> dest.
+	// Starts healthy at 10 ms one-way.
+	directLn, err := listen()
+	if err != nil {
+		return err
+	}
+	directLink := netem.New(directLn, destAddr, netem.Config{
+		Up:   netem.Impairment{Latency: 10 * time.Millisecond},
+		Down: netem.Impairment{Latency: 10 * time.Millisecond},
+		Obs:  reg,
+	})
+	go directLink.Serve() //nolint:errcheck
+	defer directLink.Close()
+
+	// Three cloud relays, each behind its own access link (one-way
+	// latencies 15/20/25 ms — worse than the healthy direct path).
+	var fleet []string
+	for i, oneWay := range []time.Duration{15 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond} {
+		relayLn, err := listen()
+		if err != nil {
+			return err
+		}
+		rl := relay.New(relayLn, relay.Config{Obs: reg})
+		go rl.Serve() //nolint:errcheck
+		defer rl.Close()
+
+		linkLn, err := listen()
+		if err != nil {
+			return err
+		}
+		link := netem.New(linkLn, relayLn.Addr().String(), netem.Config{
+			Up:   netem.Impairment{Latency: oneWay},
+			Down: netem.Impairment{Latency: oneWay},
+		})
+		go link.Serve() //nolint:errcheck
+		defer link.Close()
+		fleet = append(fleet, link.Addr().String())
+		fmt.Printf("relay %d: %s (one-way +%v)\n", i+1, link.Addr(), oneWay)
+	}
+
+	// Control plane: probe every 500 ms, switch after 2 consecutive
+	// rounds of a >10% win.
+	mon, err := pathmon.New(pathmon.Config{
+		Dest:         destAddr,
+		DirectAddr:   directLink.Addr().String(),
+		Fleet:        fleet,
+		Interval:     500 * time.Millisecond,
+		ProbeCount:   3,
+		SwitchMargin: 0.1,
+		SwitchRounds: 2,
+		Obs:          reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	mon.Start()
+
+	gw, err := gateway.New(gateway.Config{
+		Dest:       destAddr,
+		DirectAddr: directLink.Addr().String(),
+		Monitor:    mon,
+		Obs:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	fmt.Printf("\ndest %s, direct link %s; probing...\n\n", destAddr, directLink.Addr())
+
+	// Client loop: a fresh connection through the gateway every 400 ms,
+	// RTT-probed so the chosen path's quality is visible.
+	dial := func(tag string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		conn, path, err := gw.Dial(ctx)
+		if err != nil {
+			fmt.Printf("%-12s dial failed: %v\n", tag, err)
+			return
+		}
+		defer conn.Close()
+		stats, err := measure.ProbeRTTContext(ctx, conn, 3, nil)
+		if err != nil {
+			fmt.Printf("%-12s %-28s probe failed: %v\n", tag, path, err)
+			return
+		}
+		fmt.Printf("%-12s %-28s rtt %6.1f ms\n", tag, path, float64(stats.Avg.Microseconds())/1000)
+	}
+
+	deadline := time.Now().Add(8 * time.Second)
+	degraded := false
+	for time.Now().Before(deadline) {
+		phase := "healthy"
+		if degraded {
+			phase = "degraded"
+		}
+		dial(phase)
+		if !degraded && time.Now().After(deadline.Add(-5*time.Second)) {
+			degraded = true
+			directLink.SetImpairment(
+				netem.Impairment{Latency: 120 * time.Millisecond},
+				netem.Impairment{Latency: 120 * time.Millisecond},
+			)
+			fmt.Println("\n*** direct link degraded to 120 ms one-way ***")
+		}
+		time.Sleep(400 * time.Millisecond)
+	}
+
+	fmt.Println("\nfinal path table:")
+	for _, st := range mon.Ranked() {
+		marker := " "
+		if st.Best {
+			marker = "*"
+		}
+		state := "up"
+		if st.Down {
+			state = "DOWN"
+		}
+		fmt.Printf(" %s %-28s score %8.1f ms  srtt %6.1f ms  samples %-3d %s\n",
+			marker, st.Path, st.Score*1000,
+			float64(st.SRTT.Microseconds())/1000, st.Samples, state)
+	}
+
+	sw := reg.Counter("cronets_pathmon_switches_total", "").Value()
+	fmt.Printf("\ncronets_pathmon_switches_total = %d\n", sw)
+	if best, _ := mon.Best(); best.IsDirect() {
+		return fmt.Errorf("gateway still prefers the degraded direct path")
+	}
+	fmt.Println("new connections now ride the overlay — Fig. 1 reproduced.")
+	return nil
+}

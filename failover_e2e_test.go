@@ -23,6 +23,9 @@ import (
 )
 
 func TestFailoverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netem e2e is skipped in -short mode")
+	}
 	const (
 		subflows = 2
 		killAt   = 128 << 10

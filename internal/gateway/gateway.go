@@ -1,0 +1,326 @@
+// Package gateway is the overlay control plane's forwarding half: a
+// client-side entry point that consults pathmon on every new connection
+// and dials the destination either directly or through the chosen relay
+// (the split-TCP CONNECT protocol from internal/relay). Dial failures
+// fall back to the next-ranked path, and re-ranking is live: established
+// flows stay pinned to the path they were dialed on, only new
+// connections follow the table — the CRONets client gateway of Fig. 1.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cronets/internal/obs"
+	"cronets/internal/pathmon"
+	"cronets/internal/relay"
+)
+
+// Config parameterizes a Gateway. Dest is required.
+type Config struct {
+	// Dest is the destination address as reachable from the relays — the
+	// CONNECT target sent through the overlay.
+	Dest string
+	// DirectAddr is the client's direct route to Dest (defaults to Dest;
+	// emulations point it at a netem proxy).
+	DirectAddr string
+	// Monitor supplies path rankings. With a nil Monitor the gateway
+	// always dials direct.
+	Monitor *pathmon.Monitor
+	// DialTimeout bounds each path attempt (default 10 s).
+	DialTimeout time.Duration
+	// MaxAttempts caps how many ranked paths one Dial tries before
+	// giving up (default 3).
+	MaxAttempts int
+	// Dialer overrides the underlying dialer (tests).
+	Dialer relay.Dialer
+	// Obs receives gateway metrics and flow events (nil disables
+	// instrumentation).
+	Obs *obs.Registry
+}
+
+// Stats are cumulative gateway counters, safe to read concurrently.
+type Stats struct {
+	// Accepted counts downstream connections accepted in listener mode.
+	Accepted atomic.Int64
+	// Active is the number of flows currently being piped.
+	Active atomic.Int64
+	// DialsDirect and DialsRelay count successful path dials by kind.
+	DialsDirect atomic.Int64
+	DialsRelay  atomic.Int64
+	// Fallbacks counts dials that succeeded only on a non-first-choice
+	// path.
+	Fallbacks atomic.Int64
+	// DialFailures counts Dial calls that exhausted every candidate.
+	DialFailures atomic.Int64
+	// BytesUp and BytesDown count piped bytes in listener mode.
+	BytesUp   atomic.Int64
+	BytesDown atomic.Int64
+}
+
+// Gateway dials (and optionally fronts) a fixed destination over the
+// current best overlay path.
+type Gateway struct {
+	cfg   Config
+	stats *Stats
+	scope *obs.Scope
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrGatewayClosed is returned by Serve after Close.
+var ErrGatewayClosed = errors.New("gateway: closed")
+
+// New creates a Gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Dest == "" {
+		return nil, errors.New("gateway: Config.Dest is required")
+	}
+	if cfg.DirectAddr == "" {
+		cfg.DirectAddr = cfg.Dest
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{}
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		stats: &Stats{},
+		conns: make(map[net.Conn]struct{}),
+	}
+	g.instrument(cfg.Obs)
+	return g, nil
+}
+
+func (g *Gateway) instrument(reg *obs.Registry) {
+	g.scope = reg.Scope("gateway")
+	reg.CounterFunc("cronets_gateway_accepted_total",
+		"Downstream connections accepted in listener mode.", g.stats.Accepted.Load)
+	reg.GaugeFunc("cronets_gateway_active",
+		"Flows currently being piped.", g.stats.Active.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "direct"),
+		"Successful destination dials by path kind.", g.stats.DialsDirect.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "relay"),
+		"Successful destination dials by path kind.", g.stats.DialsRelay.Load)
+	reg.CounterFunc("cronets_gateway_fallbacks_total",
+		"Dials that succeeded only on a non-first-choice path.", g.stats.Fallbacks.Load)
+	reg.CounterFunc("cronets_gateway_dial_failures_total",
+		"Dials that exhausted every candidate path.", g.stats.DialFailures.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_bytes_total", "dir", "up"),
+		"Piped bytes by direction (up = client to destination).", g.stats.BytesUp.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_bytes_total", "dir", "down"),
+		"Piped bytes by direction (up = client to destination).", g.stats.BytesDown.Load)
+}
+
+// Stats returns the gateway's counters.
+func (g *Gateway) Stats() *Stats { return g.stats }
+
+// candidates returns the ordered list of paths a dial should try: the
+// hysteresis-committed best path first, then the remaining usable paths
+// score-ordered. Without a monitor (or before its first round) it is the
+// direct path alone.
+func (g *Gateway) candidates() []pathmon.Path {
+	if g.cfg.Monitor == nil {
+		return []pathmon.Path{pathmon.Direct}
+	}
+	best, ok := g.cfg.Monitor.Best()
+	if !ok {
+		return []pathmon.Path{pathmon.Direct}
+	}
+	out := []pathmon.Path{best}
+	haveDirect := best.IsDirect()
+	for _, st := range g.cfg.Monitor.Ranked() {
+		if st.Path == best || st.Down {
+			continue
+		}
+		out = append(out, st.Path)
+		haveDirect = haveDirect || st.Path.IsDirect()
+	}
+	if !haveDirect {
+		// The direct Internet path needs no overlay cooperation; keep it
+		// as the last resort even when probes call it down.
+		out = append(out, pathmon.Direct)
+	}
+	return out
+}
+
+// Dial opens one connection to the destination over the current best
+// path, falling back to the next-ranked paths on dial failure. It
+// returns the connection and the path it actually took.
+func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
+	cands := g.candidates()
+	if len(cands) > g.cfg.MaxAttempts {
+		cands = cands[:g.cfg.MaxAttempts]
+	}
+	var lastErr error
+	for i, p := range cands {
+		conn, err := g.dialPath(ctx, p)
+		if err != nil {
+			lastErr = err
+			g.scope.Event(obs.EventDial, fmt.Sprintf("fail %s: %v", p, err))
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if p.IsDirect() {
+			g.stats.DialsDirect.Add(1)
+		} else {
+			g.stats.DialsRelay.Add(1)
+		}
+		if i > 0 {
+			g.stats.Fallbacks.Add(1)
+			g.scope.Event(obs.EventFallback,
+				fmt.Sprintf("%s after %d failed path(s)", p, i))
+		} else {
+			g.scope.Event(obs.EventDial, "ok "+p.String())
+		}
+		return conn, p, nil
+	}
+	g.stats.DialFailures.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no candidate paths")
+	}
+	return nil, pathmon.Path{}, fmt.Errorf("gateway: all %d path(s) failed: %w", len(cands), lastErr)
+}
+
+// dialPath opens one connection over a specific path.
+func (g *Gateway) dialPath(ctx context.Context, p pathmon.Path) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.DialTimeout)
+	defer cancel()
+	if p.IsDirect() {
+		return g.cfg.Dialer.DialContext(ctx, "tcp", g.cfg.DirectAddr)
+	}
+	return relay.DialVia(ctx, g.cfg.Dialer, p.Relay, g.cfg.Dest)
+}
+
+// Serve runs listener mode: every accepted connection is dialed through
+// Dial and piped to the destination. Established flows keep their path;
+// re-ranking only steers subsequent accepts. It always returns a non-nil
+// error (ErrGatewayClosed after a clean shutdown).
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrGatewayClosed
+	}
+	g.ln = ln
+	g.mu.Unlock()
+	for {
+		down, err := ln.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return ErrGatewayClosed
+			}
+			return fmt.Errorf("gateway: accept: %w", err)
+		}
+		g.stats.Accepted.Add(1)
+		g.track(down)
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer g.untrack(down)
+			g.handle(down)
+		}()
+	}
+}
+
+// Addr returns the listener address ("" outside listener mode).
+func (g *Gateway) Addr() net.Addr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ln == nil {
+		return nil
+	}
+	return g.ln.Addr()
+}
+
+// Close stops the listener (if any) and closes live flows.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	ln := g.ln
+	for c := range g.conns {
+		_ = c.Close()
+	}
+	g.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+func (g *Gateway) track(c net.Conn) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.conns[c] = struct{}{}
+}
+
+func (g *Gateway) untrack(c net.Conn) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.conns, c)
+	_ = c.Close()
+}
+
+// handle pipes one accepted connection to the destination.
+func (g *Gateway) handle(down net.Conn) {
+	up, path, err := g.Dial(context.Background())
+	if err != nil {
+		g.scope.Logger().Warn("gateway dial failed", "err", err)
+		return
+	}
+	g.track(up)
+	defer g.untrack(up)
+	_ = path // path is already recorded by Dial's metrics/events
+
+	g.stats.Active.Add(1)
+	defer g.stats.Active.Add(-1)
+
+	errc := make(chan error, 2)
+	copyDir := func(dst, src net.Conn, counter *atomic.Int64) {
+		n, err := io.Copy(dst, src)
+		counter.Add(n)
+		// Half-close toward the receiver so the remaining direction can
+		// drain its in-flight data.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		errc <- err
+	}
+	go copyDir(up, down, &g.stats.BytesUp)
+	go copyDir(down, up, &g.stats.BytesDown)
+	// A clean EOF half-closes and lets the other direction drain; a hard
+	// error tears both down to unblock it.
+	if err := <-errc; err != nil {
+		_ = down.Close()
+		_ = up.Close()
+	}
+	<-errc
+	_ = down.Close()
+	_ = up.Close()
+}

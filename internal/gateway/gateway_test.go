@@ -1,0 +1,231 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"cronets/internal/measure"
+	"cronets/internal/obs"
+	"cronets/internal/pathmon"
+	"cronets/internal/relay"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+				if tc, ok := c.(*net.TCPConn); ok {
+					_ = tc.CloseWrite()
+				}
+			}()
+		}
+	}()
+	return ln.Addr()
+}
+
+func liveRelay(t *testing.T) *relay.Relay {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relay.New(ln, relay.Config{})
+	go func() { _ = r.Serve() }()
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func TestDialDirectWithoutMonitor(t *testing.T) {
+	dest := echoServer(t)
+	g, err := New(Config{Dest: dest.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, path, err := g.Dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !path.IsDirect() {
+		t.Fatalf("path = %v, want direct", path)
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	if g.Stats().DialsDirect.Load() != 1 {
+		t.Fatalf("DialsDirect = %d, want 1", g.Stats().DialsDirect.Load())
+	}
+}
+
+func TestDialFollowsMonitorBestPath(t *testing.T) {
+	destSrvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	destSrv := measure.NewServer(destSrvLn)
+	go func() { _ = destSrv.Serve() }()
+	defer destSrv.Close()
+	dest := destSrvLn.Addr().String()
+
+	rl := liveRelay(t)
+	mon, err := pathmon.New(pathmon.Config{
+		Dest:  dest,
+		Fleet: []string{rl.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.Pin(pathmon.Path{Relay: rl.Addr().String()})
+
+	g, err := New(Config{Dest: dest, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, path, err := g.Dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if path.IsDirect() {
+		t.Fatal("dialed direct; monitor's best path is the relay")
+	}
+	if got := rl.Stats().Accepted.Load(); got != 1 {
+		t.Fatalf("relay accepted %d connections, want 1", got)
+	}
+	// The relayed connection reaches a live measure server: probe it.
+	if _, err := measure.ProbeRTT(conn, 2); err != nil {
+		t.Fatalf("probe through gateway-dialed relay path: %v", err)
+	}
+}
+
+func TestDialFallsBackWhenBestPathDead(t *testing.T) {
+	destSrvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	destSrv := measure.NewServer(destSrvLn)
+	go func() { _ = destSrv.Serve() }()
+	defer destSrv.Close()
+	dest := destSrvLn.Addr().String()
+
+	deadRelay := "127.0.0.1:1"
+	mon, err := pathmon.New(pathmon.Config{Dest: dest, Fleet: []string{deadRelay}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.Pin(pathmon.Path{Relay: deadRelay})
+
+	reg := obs.NewRegistry()
+	g, err := New(Config{Dest: dest, Monitor: mon, DialTimeout: time.Second, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, path, err := g.Dial(context.Background())
+	if err != nil {
+		t.Fatalf("Dial with a dead best path must fall back: %v", err)
+	}
+	defer conn.Close()
+	if !path.IsDirect() {
+		t.Fatalf("fallback path = %v, want direct", path)
+	}
+	if g.Stats().Fallbacks.Load() != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", g.Stats().Fallbacks.Load())
+	}
+	var sawFallback bool
+	for _, e := range reg.Events().Snapshot() {
+		if e.Type == obs.EventFallback {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no fallback flow event recorded")
+	}
+}
+
+func TestServeListenerMode(t *testing.T) {
+	dest := echoServer(t)
+	g, err := New(Config{Dest: dest.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Serve(gwLn) }()
+
+	payload := bytes.Repeat([]byte("overlay"), 1000)
+	conn, err := net.Dial("tcp", gwLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echoed %d bytes through gateway, want %d", len(got), len(payload))
+	}
+
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrGatewayClosed {
+		t.Fatalf("Serve returned %v, want ErrGatewayClosed", err)
+	}
+	st := g.Stats()
+	if st.Accepted.Load() != 1 || st.BytesUp.Load() != int64(len(payload)) {
+		t.Fatalf("stats: accepted=%d bytes_up=%d", st.Accepted.Load(), st.BytesUp.Load())
+	}
+}
+
+func TestDialAllPathsDead(t *testing.T) {
+	g, err := New(Config{Dest: "127.0.0.1:1", DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, _, err := g.Dial(context.Background()); err == nil {
+		t.Fatal("Dial succeeded with no live path")
+	}
+	if g.Stats().DialFailures.Load() != 1 {
+		t.Fatalf("DialFailures = %d, want 1", g.Stats().DialFailures.Load())
+	}
+}

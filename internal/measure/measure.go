@@ -9,6 +9,7 @@
 package measure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -140,6 +141,9 @@ type Result struct {
 // Throughput runs an iperf-style timed upload over an established
 // connection (which may pass through relays or a multipath channel):
 // random-ish payload is written for the duration and the goodput reported.
+//
+// A stalled peer can block a Write indefinitely; callers that need a hard
+// time bound should use ThroughputContext instead.
 func Throughput(conn io.Writer, duration time.Duration, chunkBytes int) (Result, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = 128 << 10
@@ -165,6 +169,17 @@ func Throughput(conn io.Writer, duration time.Duration, chunkBytes int) (Result,
 	}, nil
 }
 
+// ThroughputContext is Throughput with a hard time bound: the connection's
+// deadline tracks the context, so a blackholed path (zero-window peer,
+// silent middlebox) fails with a timeout instead of hanging the caller.
+// The context error is surfaced when cancellation caused the failure.
+func ThroughputContext(ctx context.Context, conn net.Conn, duration time.Duration, chunkBytes int) (Result, error) {
+	stop := guardDeadline(ctx, conn)
+	defer stop()
+	res, err := Throughput(conn, duration, chunkBytes)
+	return res, ctxError(ctx, err)
+}
+
 // SinkClient prefixes the sink-mode byte on a connection to a
 // measure.Server, returning the same connection ready for Throughput.
 func SinkClient(conn net.Conn) (net.Conn, error) {
@@ -182,8 +197,54 @@ type RTTStats struct {
 
 // ProbeRTT measures application-level round-trip time with count echo
 // probes over a connection to a measure.Server.
+//
+// A hung peer can block a probe read indefinitely; callers that need a
+// hard time bound should use ProbeRTTContext instead.
 func ProbeRTT(conn net.Conn, count int) (RTTStats, error) {
 	return ProbeRTTWith(conn, count, nil)
+}
+
+// ProbeRTTContext is ProbeRTTWith with a hard time bound: the connection's
+// deadline tracks the context, so a dead or blackholed path fails within
+// the context budget instead of blocking a probe round forever. The
+// context error is surfaced when cancellation caused the failure.
+func ProbeRTTContext(ctx context.Context, conn net.Conn, count int, hist *obs.Histogram) (RTTStats, error) {
+	stop := guardDeadline(ctx, conn)
+	defer stop()
+	stats, err := ProbeRTTWith(conn, count, hist)
+	return stats, ctxError(ctx, err)
+}
+
+// guardDeadline pins conn's deadline to the context: the deadline (if any)
+// is applied immediately and early cancellation force-expires it. The
+// returned stop function releases the watcher and clears the deadline.
+func guardDeadline(ctx context.Context, conn net.Conn) (stop func()) {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	donec := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Force any blocked Read/Write to return immediately.
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		case <-donec:
+		}
+	}()
+	return func() {
+		close(donec)
+		_ = conn.SetDeadline(time.Time{})
+	}
+}
+
+// ctxError substitutes the context's error for a deadline-induced I/O
+// error so callers see context.DeadlineExceeded/Canceled rather than a
+// generic timeout.
+func ctxError(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("measure: %w", ctx.Err())
+	}
+	return err
 }
 
 // ProbeRTTWith is ProbeRTT recording each sample into an obs histogram

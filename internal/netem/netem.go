@@ -54,6 +54,11 @@ type Proxy struct {
 	target string
 	ln     net.Listener
 
+	// impMu guards the live impairment pair, which SetImpairment may swap
+	// mid-run; shaping goroutines re-read it at every chunk.
+	impMu    sync.RWMutex
+	up, down Impairment
+
 	// rng is the proxy's single jitter source: seedable for reproducible
 	// impairment runs, mutex-guarded because every shaping goroutine
 	// draws from it.
@@ -96,6 +101,8 @@ func New(ln net.Listener, target string, cfg Config) *Proxy {
 		cfg:    cfg,
 		target: target,
 		ln:     ln,
+		up:     cfg.Up,
+		down:   cfg.Down,
 		rng:    rand.New(rand.NewSource(seed)),
 		conns:  make(map[net.Conn]struct{}),
 		stopc:  make(chan struct{}),
@@ -114,6 +121,36 @@ func New(ln net.Listener, target string, cfg Config) *Proxy {
 		"Inbound connections refused by the fault plan.")
 	p.scope = cfg.Obs.Scope("netem")
 	return p
+}
+
+// SetImpairment replaces both directions' shaping at runtime — a live
+// "path degrades mid-run" lever for tests and demos. In-flight
+// connections pick up the new impairment at their next chunk; nothing is
+// reconnected.
+func (p *Proxy) SetImpairment(up, down Impairment) {
+	p.impMu.Lock()
+	p.up, p.down = up, down
+	p.impMu.Unlock()
+	p.scope.Event(obs.EventImpairmentChange,
+		fmt.Sprintf("up{lat=%v jit=%v rate=%g} down{lat=%v jit=%v rate=%g}",
+			up.Latency, up.Jitter, up.RateMbps, down.Latency, down.Jitter, down.RateMbps))
+}
+
+// Impairments returns the current shaping pair.
+func (p *Proxy) Impairments() (up, down Impairment) {
+	p.impMu.RLock()
+	defer p.impMu.RUnlock()
+	return p.up, p.down
+}
+
+// impairment returns one direction's current shaping.
+func (p *Proxy) impairment(isUp bool) Impairment {
+	p.impMu.RLock()
+	defer p.impMu.RUnlock()
+	if isUp {
+		return p.up
+	}
+	return p.down
 }
 
 // jitter draws a uniform [0, max) duration from the proxy's seeded source.
@@ -205,14 +242,14 @@ func (p *Proxy) handle(idx int64, down net.Conn) {
 
 	done := make(chan struct{}, 2)
 	go func() {
-		p.shapeCopy(up, down, p.cfg.Up, p.shapedUp, upRules)
+		p.shapeCopy(up, down, true, p.shapedUp, upRules)
 		if tc, ok := up.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
 		done <- struct{}{}
 	}()
 	go func() {
-		p.shapeCopy(down, up, p.cfg.Down, p.shapedDown, downRules)
+		p.shapeCopy(down, up, false, p.shapedDown, downRules)
 		if tc, ok := down.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
@@ -222,12 +259,13 @@ func (p *Proxy) handle(idx int64, down net.Conn) {
 	<-done
 }
 
-// shapeCopy copies src to dst applying the impairment, drawing jitter from
+// shapeCopy copies src to dst applying the direction's impairment (re-read
+// each chunk so SetImpairment takes effect mid-flow), drawing jitter from
 // the proxy's seeded source and recording shaped bytes + added delay.
 // rules are this direction's armed fault rules: byte-offset triggers are
 // enforced exactly (chunks are split at the offset) and a blackholed
 // direction parks here, keeping the sockets open, until the proxy closes.
-func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *obs.Counter, rules []*armedRule) {
+func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, isUp bool, shaped *obs.Counter, rules []*armedRule) {
 	buf := make([]byte, p.cfg.ChunkBytes)
 	var budget time.Time // rate-limit pacing horizon
 	var fwd int64        // bytes forwarded in this direction
@@ -243,6 +281,7 @@ func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, imp Impairment, shaped *
 					return
 				}
 			}
+			imp := p.impairment(isUp)
 			// Split the chunk at the nearest pending byte-offset trigger
 			// so the fault lands exactly on its offset.
 			n := len(chunk)

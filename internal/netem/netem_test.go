@@ -92,6 +92,9 @@ func TestLatencyAdded(t *testing.T) {
 }
 
 func TestRateLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed shaping test is skipped in -short mode")
+	}
 	echo := echoServer(t)
 	p := startProxy(t, echo.Addr().String(), Config{
 		Up: Impairment{RateMbps: 20},
@@ -202,5 +205,81 @@ func TestJitterReproducible(t *testing.T) {
 	}
 	if z := mk(1).jitter(0); z != 0 {
 		t.Errorf("jitter(0) = %v, want 0", z)
+	}
+}
+
+func TestSetImpairmentLive(t *testing.T) {
+	echo := echoServer(t)
+	p := startProxy(t, echo.Addr().String(), Config{})
+
+	rtt := func() time.Duration {
+		conn, err := net.Dial("tcp", p.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		msg := []byte("ping")
+		buf := make([]byte, len(msg))
+		start := time.Now()
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	before := rtt()
+	if before > 40*time.Millisecond {
+		t.Fatalf("unimpaired RTT = %v on loopback; environment too noisy", before)
+	}
+	p.SetImpairment(
+		Impairment{Latency: 40 * time.Millisecond},
+		Impairment{Latency: 40 * time.Millisecond},
+	)
+	if up, down := p.Impairments(); up.Latency != 40*time.Millisecond || down.Latency != 40*time.Millisecond {
+		t.Fatalf("Impairments() = %v/%v after SetImpairment", up, down)
+	}
+	after := rtt()
+	if after < 75*time.Millisecond {
+		t.Errorf("RTT after live degradation = %v, want >= ~80ms", after)
+	}
+}
+
+// TestSetImpairmentAffectsInFlightConn verifies an established connection
+// picks up a mid-run impairment change at its next chunk.
+func TestSetImpairmentAffectsInFlightConn(t *testing.T) {
+	echo := echoServer(t)
+	p := startProxy(t, echo.Addr().String(), Config{})
+	conn, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	roundTrip := func() time.Duration {
+		msg := []byte("ping")
+		buf := make([]byte, len(msg))
+		start := time.Now()
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	if before := roundTrip(); before > 40*time.Millisecond {
+		t.Fatalf("unimpaired RTT = %v; environment too noisy", before)
+	}
+	p.SetImpairment(
+		Impairment{Latency: 40 * time.Millisecond},
+		Impairment{Latency: 40 * time.Millisecond},
+	)
+	if after := roundTrip(); after < 75*time.Millisecond {
+		t.Errorf("in-flight RTT after degradation = %v, want >= ~80ms", after)
 	}
 }

@@ -36,6 +36,19 @@ const (
 	// EventDialRetry is a transient upstream dial failure being retried
 	// with backoff.
 	EventDialRetry
+	// EventProbe is a pathmon probe outcome (detail carries path + result).
+	EventProbe
+	// EventRankChange is the pathmon ranked table's leader changing
+	// (before hysteresis commits a switch).
+	EventRankChange
+	// EventPathSwitch is pathmon committing traffic to a new best path.
+	EventPathSwitch
+	// EventFallback is a gateway dial falling back to the next-ranked path
+	// after the preferred one failed.
+	EventFallback
+	// EventImpairmentChange is a netem proxy's shaping being swapped at
+	// runtime (SetImpairment).
+	EventImpairmentChange
 )
 
 // String returns the event type's wire name.
@@ -61,6 +74,16 @@ func (t EventType) String() string {
 		return "subflow-rejoin"
 	case EventDialRetry:
 		return "dial-retry"
+	case EventProbe:
+		return "probe"
+	case EventRankChange:
+		return "rank-change"
+	case EventPathSwitch:
+		return "path-switch"
+	case EventFallback:
+		return "fallback"
+	case EventImpairmentChange:
+		return "impairment-change"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,478 @@
+// Package pathmon is the overlay control plane's measurement half: a
+// background prober that, for one (client, destination) pair and a fleet
+// of candidate relays, periodically measures the direct path and each
+// one-hop relay path with internal/measure echo probes (plus optional
+// short throughput bursts), maintains per-path EWMA/variance scores with
+// staleness decay, and publishes a ranked path table. Switching is damped
+// by hysteresis: a challenger must beat the incumbent by a configurable
+// margin for K consecutive rounds before traffic moves, so transient RTT
+// wobble cannot flap the overlay — the CRONets provisioning service's
+// "which cloud path beats the Internet right now?" loop (PAPER.md §3).
+package pathmon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cronets/internal/measure"
+	"cronets/internal/obs"
+	"cronets/internal/relay"
+)
+
+// Path identifies one candidate route to the destination.
+type Path struct {
+	// Relay is the relay's CONNECT endpoint; empty means the direct path.
+	Relay string
+}
+
+// Direct is the no-relay path.
+var Direct = Path{}
+
+// IsDirect reports whether the path skips the overlay.
+func (p Path) IsDirect() bool { return p.Relay == "" }
+
+// String returns a display name ("direct" or "via <relay>").
+func (p Path) String() string {
+	if p.IsDirect() {
+		return "direct"
+	}
+	return "via " + p.Relay
+}
+
+// Config parameterizes a Monitor. Dest is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Dest is the destination's probe endpoint (a measure.Server), as
+	// reachable from the relays — the address sent in CONNECT.
+	Dest string
+	// DirectAddr is the client's direct route to Dest. It defaults to
+	// Dest; tests and emulations point it at a netem proxy standing in
+	// for the wide-area direct path.
+	DirectAddr string
+	// Fleet lists candidate relay CONNECT endpoints.
+	Fleet []string
+	// Interval is the probe round period (default 5 s).
+	Interval time.Duration
+	// ProbeTimeout bounds each path's dial + probes per round
+	// (default Interval/2, capped at 2 s minimum 100 ms) so one dead
+	// relay cannot stall a round.
+	ProbeTimeout time.Duration
+	// ProbeCount is how many echo probes each path gets per round
+	// (default 4).
+	ProbeCount int
+	// Alpha is the EWMA weight of a new sample (default 0.3).
+	Alpha float64
+	// BurstDuration, when positive, adds a short throughput burst after
+	// the RTT probes each round; the result is reported in the path
+	// table but does not enter the delay score.
+	BurstDuration time.Duration
+	// SwitchMargin is the fraction by which a challenger's score must
+	// beat the incumbent's to count toward a switch (default 0.1).
+	SwitchMargin float64
+	// SwitchRounds is how many consecutive qualifying rounds the same
+	// challenger needs before traffic switches (default 3).
+	SwitchRounds int
+	// FailThreshold is how many consecutive failed rounds take a path
+	// out of contention (default 2). The incumbent going down switches
+	// immediately, ignoring hysteresis.
+	FailThreshold int
+	// StaleAfter is the estimate age past which a path's score inflates
+	// (default 3×Interval; negative disables).
+	StaleAfter time.Duration
+	// Dialer overrides the probe dialer (tests).
+	Dialer relay.Dialer
+	// Obs receives probe metrics and path events (nil disables
+	// instrumentation).
+	Obs *obs.Registry
+}
+
+// Monitor continuously probes the candidate paths and publishes a ranked
+// table plus a hysteresis-damped best path.
+type Monitor struct {
+	cfg Config
+	// now is the clock, injectable by tests.
+	now func() time.Time
+
+	probes    *obs.Counter
+	failures  *obs.Counter
+	switches  *obs.Counter
+	rounds    *obs.Counter
+	rttHist   *obs.Histogram
+	bestDirec *obs.Gauge
+	scope     *obs.Scope
+
+	mu     sync.Mutex
+	order  []Path // stable probe order: direct, then fleet
+	states map[Path]*pathState
+	best   Path
+	chosen bool // a best path has been selected
+	// challenger/streak implement switch hysteresis.
+	challenger    Path
+	streak        int
+	roundsDone    int64
+	lastRankFirst Path
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopc     chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New creates a Monitor. Call Start to begin probing; Close to stop.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Dest == "" {
+		return nil, errors.New("pathmon: Config.Dest is required")
+	}
+	if cfg.DirectAddr == "" {
+		cfg.DirectAddr = cfg.Dest
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.Interval / 2
+		if cfg.ProbeTimeout > 2*time.Second {
+			cfg.ProbeTimeout = 2 * time.Second
+		}
+		if cfg.ProbeTimeout < 100*time.Millisecond {
+			cfg.ProbeTimeout = 100 * time.Millisecond
+		}
+	}
+	if cfg.ProbeCount <= 0 {
+		cfg.ProbeCount = 4
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.SwitchMargin <= 0 {
+		cfg.SwitchMargin = 0.1
+	}
+	if cfg.SwitchRounds <= 0 {
+		cfg.SwitchRounds = 3
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 3 * cfg.Interval
+	} else if cfg.StaleAfter < 0 {
+		cfg.StaleAfter = 0
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{}
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		now:    time.Now,
+		states: make(map[Path]*pathState),
+		stopc:  make(chan struct{}),
+	}
+	m.order = append(m.order, Direct)
+	for _, r := range cfg.Fleet {
+		m.order = append(m.order, Path{Relay: r})
+	}
+	for _, p := range m.order {
+		m.states[p] = &pathState{path: p}
+	}
+	m.instrument(cfg.Obs)
+	return m, nil
+}
+
+func (m *Monitor) instrument(reg *obs.Registry) {
+	m.probes = reg.Counter("cronets_pathmon_probes_total",
+		"Per-path probe attempts across all rounds.")
+	m.failures = reg.Counter("cronets_pathmon_probe_failures_total",
+		"Probe attempts that failed (dial error, timeout, bad reply).")
+	m.switches = reg.Counter("cronets_pathmon_switches_total",
+		"Best-path switches committed after hysteresis.")
+	m.rounds = reg.Counter("cronets_pathmon_rounds_total",
+		"Probe rounds completed.")
+	m.rttHist = reg.Histogram("cronets_pathmon_rtt_seconds",
+		"Probed RTT across all candidate paths.", obs.LatencyBuckets)
+	m.bestDirec = reg.Gauge("cronets_pathmon_best_is_direct",
+		"1 when the current best path is direct, 0 when it is a relay.")
+	m.scope = reg.Scope("pathmon")
+}
+
+// Start launches the background probe loop: one round immediately, then
+// one per Interval. Repeated calls are no-ops.
+func (m *Monitor) Start() {
+	m.startOnce.Do(func() {
+		m.wg.Add(1)
+		go m.loop()
+	})
+}
+
+// Close stops the probe loop and waits for in-flight probes.
+func (m *Monitor) Close() error {
+	m.stopOnce.Do(func() { close(m.stopc) })
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Monitor) loop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	m.ProbeRound(context.Background())
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.ProbeRound(context.Background())
+		}
+	}
+}
+
+// probeResult is one path's outcome in a round.
+type probeResult struct {
+	path Path
+	rtt  time.Duration // round average on success
+	mbps float64       // optional burst result
+	err  error
+}
+
+// ProbeRound measures every candidate path once, concurrently, and folds
+// the results into the ranked table. Each path's dial + probes share one
+// ProbeTimeout budget, so the round completes within roughly one timeout
+// even if every relay is dead. Exported for on-demand probing (tests,
+// warm-up before serving).
+func (m *Monitor) ProbeRound(ctx context.Context) {
+	results := make([]probeResult, len(m.order))
+	var wg sync.WaitGroup
+	for i, p := range m.order {
+		wg.Add(1)
+		go func(i int, p Path) {
+			defer wg.Done()
+			results[i] = m.probePath(ctx, p)
+		}(i, p)
+	}
+	wg.Wait()
+	select {
+	case <-m.stopc:
+		// Shut down between probe and integrate: drop the round.
+		return
+	default:
+	}
+	m.integrate(results, m.now())
+}
+
+// probePath runs one path's round: dial (direct or via relay), RTT echo
+// probes, optional throughput burst.
+func (m *Monitor) probePath(ctx context.Context, p Path) probeResult {
+	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+	defer cancel()
+	m.probes.Inc()
+
+	var conn net.Conn
+	var err error
+	if p.IsDirect() {
+		conn, err = m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
+	} else {
+		conn, err = relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
+	}
+	if err != nil {
+		return probeResult{path: p, err: fmt.Errorf("dial: %w", err)}
+	}
+	defer conn.Close()
+
+	stats, err := measure.ProbeRTTContext(ctx, conn, m.cfg.ProbeCount, m.rttHist)
+	if err != nil {
+		return probeResult{path: p, err: fmt.Errorf("probe: %w", err)}
+	}
+	res := probeResult{path: p, rtt: stats.Avg}
+	if m.cfg.BurstDuration > 0 {
+		// Burst on a fresh connection so echo-mode state does not leak
+		// into sink mode; failure here degrades to "no burst data".
+		if tp, err := m.burst(ctx, p); err == nil {
+			res.mbps = tp
+		}
+	}
+	return res
+}
+
+// burst runs the optional short throughput burst for a path.
+func (m *Monitor) burst(ctx context.Context, p Path) (float64, error) {
+	var conn net.Conn
+	var err error
+	if p.IsDirect() {
+		conn, err = m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
+	} else {
+		conn, err = relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if _, err := measure.SinkClient(conn); err != nil {
+		return 0, err
+	}
+	res, err := measure.ThroughputContext(ctx, conn, m.cfg.BurstDuration, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Mbps, nil
+}
+
+// integrate folds one round of probe results into the table and applies
+// the ranking + hysteresis rules. Split from the socket layer so tests
+// can feed synthetic series.
+func (m *Monitor) integrate(results []probeResult, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roundsDone++
+	m.rounds.Inc()
+
+	for _, r := range results {
+		st := m.states[r.path]
+		if st == nil {
+			continue
+		}
+		if r.err != nil {
+			st.observeFailure()
+			m.failures.Inc()
+			m.scope.Event(obs.EventProbe, fmt.Sprintf("%s fail: %v", r.path, r.err))
+			continue
+		}
+		st.observe(r.rtt, m.cfg.Alpha, now)
+		if r.mbps > 0 {
+			st.lastMbps = r.mbps
+		}
+	}
+
+	ranked := m.rankLocked(now)
+	if len(ranked) == 0 || ranked[0].Down {
+		// Nothing usable: keep the incumbent (connections may still work
+		// even if probes fail — don't thrash on a probe outage).
+		return
+	}
+	leader := ranked[0].Path
+	if leader != m.lastRankFirst {
+		m.lastRankFirst = leader
+		m.scope.Event(obs.EventRankChange,
+			fmt.Sprintf("leader %s score %.4fs", leader, ranked[0].Score))
+	}
+
+	if !m.chosen {
+		// First usable round: adopt the leader outright; this initial
+		// selection is not counted as a switch.
+		m.best = leader
+		m.chosen = true
+		m.setBestGauge()
+		m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("initial best %s", leader))
+		return
+	}
+
+	incumbent := m.states[m.best]
+	if incumbent == nil || incumbent.down(m.cfg.FailThreshold) {
+		// Dead incumbent: switch immediately, hysteresis is for flap
+		// damping, not for staying on a black hole.
+		if leader != m.best {
+			m.commitSwitch(leader, "incumbent down")
+		}
+		return
+	}
+	if leader == m.best {
+		m.challenger, m.streak = Path{}, 0
+		return
+	}
+	incScore := incumbent.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold)
+	if ranked[0].Score >= incScore*(1-m.cfg.SwitchMargin) {
+		// Leads, but not by enough margin to count toward a switch.
+		m.challenger, m.streak = Path{}, 0
+		return
+	}
+	if leader == m.challenger {
+		m.streak++
+	} else {
+		m.challenger, m.streak = leader, 1
+	}
+	if m.streak >= m.cfg.SwitchRounds {
+		m.commitSwitch(leader, fmt.Sprintf("beat incumbent by >%.0f%% for %d rounds",
+			m.cfg.SwitchMargin*100, m.streak))
+	}
+}
+
+// commitSwitch moves the best path. Caller holds m.mu.
+func (m *Monitor) commitSwitch(to Path, why string) {
+	from := m.best
+	m.best = to
+	m.challenger, m.streak = Path{}, 0
+	m.switches.Inc()
+	m.setBestGauge()
+	m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("%s -> %s (%s)", from, to, why))
+}
+
+// setBestGauge mirrors the best path's kind into the gauge. Caller holds
+// m.mu.
+func (m *Monitor) setBestGauge() {
+	if m.best.IsDirect() {
+		m.bestDirec.Set(1)
+	} else {
+		m.bestDirec.Set(0)
+	}
+}
+
+// rankLocked builds the score-sorted table. Caller holds m.mu.
+func (m *Monitor) rankLocked(now time.Time) []PathStatus {
+	out := make([]PathStatus, 0, len(m.order))
+	for _, p := range m.order {
+		st := m.states[p]
+		out = append(out, PathStatus{
+			Path:       p,
+			Score:      st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold),
+			SRTT:       time.Duration(st.srtt * float64(time.Second)),
+			RTTVar:     time.Duration(st.rttvar * float64(time.Second)),
+			Mbps:       st.lastMbps,
+			Samples:    st.samples,
+			Fails:      st.fails,
+			Down:       st.down(m.cfg.FailThreshold),
+			Best:       m.chosen && p == m.best,
+			LastSample: st.lastSample,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return out
+}
+
+// Pin forces the best path — an operator override (or test hook). The
+// pin holds until a later round's hysteresis commits a switch away from
+// it, exactly as if the monitor had chosen the path itself.
+func (m *Monitor) Pin(p Path) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.best = p
+	m.chosen = true
+	m.challenger, m.streak = Path{}, 0
+	m.setBestGauge()
+	m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("pinned %s", p))
+}
+
+// Best returns the current best path and whether one has been selected
+// yet (false until the first round with a usable result).
+func (m *Monitor) Best() (Path, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.best, m.chosen
+}
+
+// Ranked returns the current path table sorted best-first. Down paths
+// sort last (score +Inf).
+func (m *Monitor) Ranked() []PathStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rankLocked(m.now())
+}
+
+// Rounds returns how many probe rounds have been integrated.
+func (m *Monitor) Rounds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.roundsDone
+}

@@ -1,0 +1,96 @@
+package pathmon
+
+// Path scoring: per-path smoothed RTT + variance in the style of a TCP
+// RTO estimator (and of Jonglez et al.'s delay-based routing metric),
+// with staleness inflation so a path that stops producing samples cannot
+// coast on an old good score, and a consecutive-failure threshold that
+// takes a dead path out of contention entirely.
+
+import (
+	"math"
+	"time"
+)
+
+// pathState is one candidate path's running estimate. All fields are
+// guarded by the Monitor's mutex.
+type pathState struct {
+	path Path
+
+	// srtt and rttvar are EWMA estimates of the path RTT and its mean
+	// absolute deviation, in seconds.
+	srtt, rttvar float64
+	// samples counts successful probe rounds folded into the estimate.
+	samples int
+	// fails counts consecutive failed probe rounds; FailThreshold of them
+	// mark the path down until the next success.
+	fails int
+	// lastSample is when the estimate last absorbed a success.
+	lastSample time.Time
+	// lastMbps is the most recent optional throughput-burst result
+	// (0 when bursts are disabled or none has completed).
+	lastMbps float64
+}
+
+// observe folds one successful RTT sample into the estimate.
+func (s *pathState) observe(rtt time.Duration, alpha float64, now time.Time) {
+	v := rtt.Seconds()
+	if s.samples == 0 {
+		s.srtt = v
+		s.rttvar = v / 2
+	} else {
+		dev := math.Abs(v - s.srtt)
+		s.rttvar = (1-alpha)*s.rttvar + alpha*dev
+		s.srtt = (1-alpha)*s.srtt + alpha*v
+	}
+	s.samples++
+	s.fails = 0
+	s.lastSample = now
+}
+
+// observeFailure records one failed probe round.
+func (s *pathState) observeFailure() { s.fails++ }
+
+// down reports whether the path is out of contention: never successfully
+// probed, or failing consecutively past the threshold.
+func (s *pathState) down(failThreshold int) bool {
+	return s.samples == 0 || s.fails >= failThreshold
+}
+
+// score is the path's routing metric in seconds — lower is better. The
+// base is srtt + 4*rttvar (penalizing jittery paths like an RTO
+// estimator); past staleAfter without a fresh sample the score inflates
+// linearly with age, so a silent path decays out of first place instead
+// of freezing its last good estimate.
+func (s *pathState) score(now time.Time, staleAfter time.Duration, failThreshold int) float64 {
+	if s.down(failThreshold) {
+		return math.Inf(1)
+	}
+	base := s.srtt + 4*s.rttvar
+	if staleAfter > 0 {
+		if age := now.Sub(s.lastSample); age > staleAfter {
+			base *= 1 + float64(age-staleAfter)/float64(staleAfter)
+		}
+	}
+	return base
+}
+
+// PathStatus is one row of the ranked path table.
+type PathStatus struct {
+	Path Path
+	// Score is the current routing metric in seconds (+Inf when down).
+	Score float64
+	// SRTT and RTTVar are the smoothed RTT estimate and its deviation.
+	SRTT, RTTVar time.Duration
+	// Mbps is the latest throughput-burst result (0 if none).
+	Mbps float64
+	// Samples is how many successful probe rounds the estimate has seen.
+	Samples int
+	// Fails is the current consecutive-failure streak.
+	Fails int
+	// Down reports the path is out of contention.
+	Down bool
+	// Best marks the path currently carrying new connections.
+	Best bool
+	// LastSample is when the path last answered a probe.
+	LastSample time.Time
+}

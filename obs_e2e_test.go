@@ -58,6 +58,9 @@ func metricValue(t *testing.T, text, series string) float64 {
 }
 
 func TestObservabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netem e2e is skipped in -short mode")
+	}
 	reg := obs.NewRegistry()
 
 	// Measurement server: the traffic destination.
