@@ -7,10 +7,11 @@
 #   make vet          static checks
 #   make fmt          gofmt diff gate (fails if any file needs formatting)
 #   make check        all of the above
+#   make bench        data-plane benchmarks (pipe, relay, multipath)
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt check
+.PHONY: build test test-short race vet fmt check bench
 
 build:
 	$(GO) build ./...
@@ -34,3 +35,6 @@ fmt:
 	fi
 
 check: fmt vet test race
+
+bench:
+	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive' -benchmem ./...

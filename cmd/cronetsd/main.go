@@ -42,6 +42,7 @@ import (
 	"cronets/internal/gateway"
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
+	"cronets/internal/pipe"
 	"cronets/internal/relay"
 )
 
@@ -110,6 +111,7 @@ func runRelay(o options) error {
 		}
 	}
 	reg := obs.NewRegistry()
+	pipe.InstrumentPool(reg)
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", o.listen, err)
@@ -194,6 +196,7 @@ func runGateway(o options) error {
 		}
 	}
 	reg := obs.NewRegistry()
+	pipe.InstrumentPool(reg)
 
 	mon, err := pathmon.New(pathmon.Config{
 		Dest:         probeTarget,
@@ -210,9 +213,11 @@ func runGateway(o options) error {
 	mon.Start()
 
 	gw, err := gateway.New(gateway.Config{
-		Dest:    o.target,
-		Monitor: mon,
-		Obs:     reg,
+		Dest:        o.target,
+		Monitor:     mon,
+		IdleTimeout: o.idle,
+		BufferBytes: o.bufKB << 10,
+		Obs:         reg,
 	})
 	if err != nil {
 		return err

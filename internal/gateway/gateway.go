@@ -11,7 +11,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -19,6 +18,7 @@ import (
 
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
+	"cronets/internal/pipe"
 	"cronets/internal/relay"
 )
 
@@ -35,6 +35,13 @@ type Config struct {
 	Monitor *pathmon.Monitor
 	// DialTimeout bounds each path attempt (default 10 s).
 	DialTimeout time.Duration
+	// IdleTimeout closes listener-mode flows with no traffic in either
+	// direction (default 5 min; negative disables). Without it a dead
+	// peer holds a gateway flow — and its relay slot — forever.
+	IdleTimeout time.Duration
+	// BufferBytes sizes each direction's pooled copy buffer in listener
+	// mode (default pipe.DefaultBufferBytes).
+	BufferBytes int
 	// MaxAttempts caps how many ranked paths one Dial tries before
 	// giving up (default 3).
 	MaxAttempts int
@@ -67,9 +74,10 @@ type Stats struct {
 // Gateway dials (and optionally fronts) a fixed destination over the
 // current best overlay path.
 type Gateway struct {
-	cfg   Config
-	stats *Stats
-	scope *obs.Scope
+	cfg     Config
+	stats   *Stats
+	scope   *obs.Scope
+	flowDur *obs.Histogram
 
 	mu     sync.Mutex
 	closed bool
@@ -92,6 +100,11 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	if cfg.IdleTimeout < 0 {
+		cfg.IdleTimeout = 0
+	} else if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
 	}
@@ -109,6 +122,8 @@ func New(cfg Config) (*Gateway, error) {
 
 func (g *Gateway) instrument(reg *obs.Registry) {
 	g.scope = reg.Scope("gateway")
+	g.flowDur = reg.Histogram("cronets_gateway_flow_duration_seconds",
+		"Wall-clock lifetime of finished listener-mode flows.", obs.LatencyBuckets)
 	reg.CounterFunc("cronets_gateway_accepted_total",
 		"Downstream connections accepted in listener mode.", g.stats.Accepted.Load)
 	reg.GaugeFunc("cronets_gateway_active",
@@ -301,26 +316,22 @@ func (g *Gateway) handle(down net.Conn) {
 	g.stats.Active.Add(1)
 	defer g.stats.Active.Add(-1)
 
-	errc := make(chan error, 2)
-	copyDir := func(dst, src net.Conn, counter *atomic.Int64) {
-		n, err := io.Copy(dst, src)
-		counter.Add(n)
-		// Half-close toward the receiver so the remaining direction can
-		// drain its in-flight data.
-		if tc, ok := dst.(*net.TCPConn); ok {
-			_ = tc.CloseWrite()
-		}
-		errc <- err
+	// The shared data-plane loop: pooled buffers, live byte counters,
+	// half-close propagation, and the idle timeout a dead peer would
+	// otherwise evade forever.
+	res, err := pipe.Bidirectional(context.Background(), down, up, pipe.Options{
+		BufferBytes: g.cfg.BufferBytes,
+		IdleTimeout: g.cfg.IdleTimeout,
+		OnIdle: func() {
+			g.scope.Event(obs.EventIdleClose, down.RemoteAddr().String())
+		},
+		CountAToB: &g.stats.BytesUp,
+		CountBToA: &g.stats.BytesDown,
+	})
+	g.flowDur.ObserveDuration(res.Duration)
+	if err != nil {
+		g.scope.Logger().Debug("gateway flow ended with error", "err", err)
 	}
-	go copyDir(up, down, &g.stats.BytesUp)
-	go copyDir(down, up, &g.stats.BytesDown)
-	// A clean EOF half-closes and lets the other direction drain; a hard
-	// error tears both down to unblock it.
-	if err := <-errc; err != nil {
-		_ = down.Close()
-		_ = up.Close()
-	}
-	<-errc
 	_ = down.Close()
 	_ = up.Close()
 }

@@ -11,6 +11,7 @@ import (
 	"cronets/internal/measure"
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
+	"cronets/internal/pipe"
 	"cronets/internal/relay"
 )
 
@@ -30,7 +31,7 @@ func echoServer(t *testing.T) net.Addr {
 			}
 			go func() {
 				defer c.Close()
-				_, _ = io.Copy(c, c)
+				_, _ = pipe.CopyMetered(c, c, pipe.CopyOptions{})
 				if tc, ok := c.(*net.TCPConn); ok {
 					_ = tc.CloseWrite()
 				}
@@ -227,5 +228,60 @@ func TestDialAllPathsDead(t *testing.T) {
 	}
 	if g.Stats().DialFailures.Load() != 1 {
 		t.Fatalf("DialFailures = %d, want 1", g.Stats().DialFailures.Load())
+	}
+}
+
+// TestIdleTimeoutClosesDeadFlow: a listener-mode flow with a silent peer
+// is torn down by the idle timeout instead of holding the gateway slot
+// forever, and the flow-duration histogram records the finished flow.
+func TestIdleTimeoutClosesDeadFlow(t *testing.T) {
+	dest := echoServer(t)
+	reg := obs.NewRegistry()
+	g, err := New(Config{
+		Dest:        dest.String(),
+		IdleTimeout: 100 * time.Millisecond,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Write once so the flow establishes, then go silent.
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Active.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := g.Stats().Active.Load(); got != 0 {
+		t.Fatalf("idle flow still active after timeout: Active = %d", got)
+	}
+	if g.flowDur.Count() == 0 {
+		t.Error("flow-duration histogram recorded no samples")
+	}
+	if up := g.Stats().BytesUp.Load(); up != 5 {
+		t.Errorf("BytesUp = %d, want 5", up)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrGatewayClosed {
+		t.Fatalf("Serve returned %v, want ErrGatewayClosed", err)
 	}
 }

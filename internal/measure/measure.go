@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Mode bytes of the measurement protocol.
@@ -109,14 +110,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	switch mode[0] {
 	case modeSink:
-		buf := make([]byte, 256<<10)
+		buf := pipe.Get(256 << 10)
+		defer pipe.Put(buf)
 		for {
 			if _, err := conn.Read(buf); err != nil {
 				return
 			}
 		}
 	case modeEcho:
-		frame := make([]byte, probeSize)
+		frame := pipe.Get(probeSize)
+		defer pipe.Put(frame)
 		for {
 			if _, err := io.ReadFull(conn, frame); err != nil {
 				return
@@ -148,7 +151,8 @@ func Throughput(conn io.Writer, duration time.Duration, chunkBytes int) (Result,
 	if chunkBytes <= 0 {
 		chunkBytes = 128 << 10
 	}
-	buf := make([]byte, chunkBytes)
+	buf := pipe.Get(chunkBytes)
+	defer pipe.Put(buf)
 	for i := range buf {
 		buf[i] = byte(i * 31)
 	}

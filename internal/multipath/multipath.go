@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Frame types.
@@ -145,10 +146,45 @@ var (
 	ErrJoinRejected = errors.New("multipath: join rejected")
 )
 
-// segment is one striped unit awaiting acknowledgment.
+// segment is one striped unit awaiting acknowledgment. Its data lives in
+// a pipe pool buffer and the struct itself is recycled through segPool,
+// so a steady-state transfer allocates nothing per segment.
 type segment struct {
 	seq  uint64
 	data []byte
+	// writers counts writeLoops currently writing this segment's bytes
+	// (retransmission can overlap a late cumulative ACK); acked marks it
+	// retired by an ACK; released guards the one-time return to the
+	// pools. All three are guarded by Sender.mu.
+	writers  int8
+	acked    bool
+	released bool
+}
+
+// segPool recycles segment structs across transfers.
+var segPool = sync.Pool{New: func() any { return new(segment) }}
+
+// newSegment copies p into a pooled segment.
+func newSegment(p []byte) *segment {
+	seg := segPool.Get().(*segment)
+	seg.seq = 0
+	seg.writers, seg.acked, seg.released = 0, false, false
+	seg.data = pipe.Get(len(p))
+	copy(seg.data, p)
+	return seg
+}
+
+// releaseSegLocked returns a retired segment's buffer and struct to their
+// pools. Idempotent; a no-op while any writeLoop still holds the bytes
+// (the last writer's decrement re-invokes it). Caller holds Sender.mu.
+func releaseSegLocked(seg *segment) {
+	if seg.released || seg.writers > 0 {
+		return
+	}
+	seg.released = true
+	pipe.Put(seg.data)
+	seg.data = nil
+	segPool.Put(seg)
 }
 
 // Sender stripes a byte stream across subflows. It implements
@@ -248,18 +284,20 @@ func (s *Sender) Write(p []byte) (int, error) {
 		if n > s.cfg.MaxSegBytes {
 			n = s.cfg.MaxSegBytes
 		}
-		seg := &segment{data: append([]byte(nil), p[:n]...)}
+		seg := newSegment(p[:n])
 		s.mu.Lock()
 		for !s.closed && s.deadErr == nil &&
 			len(s.pending)+len(s.inflight) >= s.cfg.WindowSegs {
 			s.cond.Wait()
 		}
 		if s.closed {
+			releaseSegLocked(seg)
 			s.mu.Unlock()
 			return written, ErrSenderClosed
 		}
 		if s.deadErr != nil {
 			err := s.deadErr
+			releaseSegLocked(seg)
 			s.mu.Unlock()
 			return written, err
 		}
@@ -325,6 +363,19 @@ func (s *Sender) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	// All worker loops are done (writers == 0 everywhere); recycle any
+	// segments the transfer never got acknowledged.
+	s.mu.Lock()
+	for _, seg := range s.pending {
+		releaseSegLocked(seg)
+	}
+	s.pending = nil
+	for seq, seg := range s.inflight {
+		delete(s.inflight, seq)
+		delete(s.owner, seq)
+		releaseSegLocked(seg)
+	}
+	s.mu.Unlock()
 	return err
 }
 
@@ -361,25 +412,42 @@ func (s *Sender) writeLoop(i int, epoch uint64, conn net.Conn) {
 		}
 		seg := s.pending[0]
 		s.pending = s.pending[1:]
+		if seg.acked || seg.seq < s.cumAcked {
+			// A requeued retransmit that a cumulative ACK already
+			// covered: retire it instead of writing stale bytes.
+			seg.acked = true
+			releaseSegLocked(seg)
+			s.mu.Unlock()
+			continue
+		}
 		s.inflight[seg.seq] = seg
 		s.owner[seg.seq] = i
 		s.sentBy[i]++
+		seg.writers++
+		segLen := len(seg.data)
 		s.mu.Unlock()
 
 		hdr[0] = frameData
 		binary.BigEndian.PutUint64(hdr[1:9], seg.seq)
-		binary.BigEndian.PutUint32(hdr[9:13], uint32(len(seg.data)))
+		binary.BigEndian.PutUint32(hdr[9:13], uint32(segLen))
 		s.wmu[i].Lock()
 		_, err := conn.Write(hdr)
 		if err == nil {
 			_, err = conn.Write(seg.data)
 		}
 		s.wmu[i].Unlock()
+		s.mu.Lock()
+		seg.writers--
+		if seg.acked {
+			// The ACK landed mid-write; this writer held the release.
+			releaseSegLocked(seg)
+		}
+		s.mu.Unlock()
 		if err != nil {
 			s.subflowDied(i, epoch)
 			return
 		}
-		s.bytesBy[i].Add(int64(len(seg.data)))
+		s.bytesBy[i].Add(int64(segLen))
 	}
 }
 
@@ -413,7 +481,11 @@ func (s *Sender) ackLoop(i int, epoch uint64, conn net.Conn) {
 		case frameAck:
 			if value > s.cumAcked {
 				for seq := s.cumAcked; seq < value; seq++ {
-					delete(s.inflight, seq)
+					if seg, ok := s.inflight[seq]; ok {
+						delete(s.inflight, seq)
+						seg.acked = true
+						releaseSegLocked(seg)
+					}
 					delete(s.owner, seq)
 				}
 				s.cumAcked = value

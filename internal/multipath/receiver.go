@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Receiver reassembles a multipath stream. It implements io.Reader; Read
@@ -18,23 +19,31 @@ import (
 // accepts a reconnected subflow's socket back into the channel.
 type Receiver struct {
 	cfg Config
-	// wmu serializes ACK writes per subflow slot.
-	wmu []sync.Mutex
+	// wmu serializes ACK writes per subflow slot; ackBuf[i] is the slot's
+	// reusable ACK frame, valid only while wmu[i] is held.
+	wmu    []sync.Mutex
+	ackBuf [][]byte
 
 	mu    sync.Mutex
 	cond  *sync.Cond
 	conns []net.Conn
 	// epoch[i] counts incarnations of subflow slot i (see Sender.epoch):
 	// frames and deaths from a superseded socket are recognized as stale.
-	epoch     []uint64
-	alive     []bool
-	reorder   map[uint64][]byte
-	recvBy    []uint64 // segments received per subflow incarnation
-	expected  uint64   // next in-order sequence to deliver
-	delivered []byte   // in-order bytes awaiting Read
-	finSeq    uint64
-	finSeen   bool
-	sinceAck  int
+	epoch    []uint64
+	alive    []bool
+	reorder  map[uint64][]byte
+	recvBy   []uint64 // segments received per subflow incarnation
+	expected uint64   // next in-order sequence to deliver
+	// delivered is the in-order queue of pooled segments awaiting Read;
+	// deliveredOff is Read's offset into delivered[0], deliveredBytes the
+	// queue's total unread payload. Segments return to the buffer pool as
+	// Read consumes them.
+	delivered      [][]byte
+	deliveredOff   int
+	deliveredBytes int
+	finSeq         uint64
+	finSeen        bool
+	sinceAck       int
 	// ackHeld marks a cumulative ACK withheld because delivered exceeded
 	// MaxBufferedBytes; Read releases it once the application drains.
 	ackHeld   bool
@@ -59,10 +68,14 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 		cfg:     cfg,
 		conns:   append([]net.Conn(nil), conns...),
 		wmu:     make([]sync.Mutex, len(conns)),
+		ackBuf:  make([][]byte, len(conns)),
 		epoch:   make([]uint64, len(conns)),
 		alive:   make([]bool, len(conns)),
 		reorder: make(map[uint64][]byte),
 		recvBy:  make([]uint64, len(conns)),
+	}
+	for i := range r.ackBuf {
+		r.ackBuf[i] = make([]byte, headerSize)
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.scope = cfg.Obs.Scope("multipath")
@@ -80,7 +93,7 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 // releases any withheld cumulative ACK so the sender's window reopens.
 func (r *Receiver) Read(p []byte) (int, error) {
 	r.mu.Lock()
-	for len(r.delivered) == 0 {
+	for r.deliveredBytes == 0 {
 		if r.finSeen && r.expected >= r.finSeq {
 			r.mu.Unlock()
 			return 0, io.EOF
@@ -96,9 +109,22 @@ func (r *Receiver) Read(p []byte) (int, error) {
 		}
 		r.cond.Wait()
 	}
-	n := copy(p, r.delivered)
-	r.delivered = r.delivered[n:]
-	release := r.ackHeld && len(r.delivered) <= r.cfg.MaxBufferedBytes
+	n := 0
+	for n < len(p) && len(r.delivered) > 0 {
+		head := r.delivered[0]
+		c := copy(p[n:], head[r.deliveredOff:])
+		n += c
+		r.deliveredOff += c
+		if r.deliveredOff == len(head) {
+			// Fully consumed: the segment goes back to the buffer pool.
+			pipe.Put(head)
+			r.delivered[0] = nil
+			r.delivered = r.delivered[1:]
+			r.deliveredOff = 0
+		}
+	}
+	r.deliveredBytes -= n
+	release := r.ackHeld && r.deliveredBytes <= r.cfg.MaxBufferedBytes
 	ackOn := r.ackHeldOn
 	if release {
 		r.ackHeld = false
@@ -115,7 +141,7 @@ func (r *Receiver) Read(p []byte) (int, error) {
 func (r *Receiver) Buffered() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.delivered)
+	return r.deliveredBytes
 }
 
 // Close tears the receiver down.
@@ -133,6 +159,20 @@ func (r *Receiver) Close() error {
 		_ = c.Close()
 	}
 	r.wg.Wait()
+	// All readLoops are done; return parked and undelivered segments to
+	// the buffer pool.
+	r.mu.Lock()
+	for seq, d := range r.reorder {
+		delete(r.reorder, seq)
+		pipe.Put(d)
+	}
+	for _, d := range r.delivered {
+		pipe.Put(d)
+	}
+	r.delivered = nil
+	r.deliveredOff = 0
+	r.deliveredBytes = 0
+	r.mu.Unlock()
 	return nil
 }
 
@@ -211,15 +251,17 @@ func (r *Receiver) readLoop(conn net.Conn, i int, epoch uint64) {
 		case frameData:
 			seq := binary.BigEndian.Uint64(hdr[1:9])
 			length := binary.BigEndian.Uint32(hdr[9:13])
-			// The 32-bit wire length is attacker-controlled; allocating
-			// it unchecked would make a 13-byte frame cost 4 GiB.
+			// The 32-bit wire length is attacker-controlled; it must be
+			// validated BEFORE any buffer is fetched, or a 13-byte frame
+			// claiming 4 GiB would cost a 4 GiB allocation.
 			if int64(length) > int64(r.cfg.MaxSegBytes) {
 				_ = conn.Close()
 				r.subflowDied(i, epoch)
 				return
 			}
-			data := make([]byte, length)
+			data := pipe.Get(int(length))
 			if _, err := io.ReadFull(conn, data); err != nil {
+				pipe.Put(data)
 				r.subflowDied(i, epoch)
 				return
 			}
@@ -260,7 +302,11 @@ func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 	if seq >= r.expected {
 		if _, dup := r.reorder[seq]; !dup {
 			r.reorder[seq] = data
+		} else {
+			pipe.Put(data) // duplicate retransmit: drop and recycle
 		}
+	} else {
+		pipe.Put(data) // already delivered: drop and recycle
 	}
 	advanced := false
 	for {
@@ -269,7 +315,10 @@ func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 			break
 		}
 		delete(r.reorder, r.expected)
-		r.delivered = append(r.delivered, d...)
+		// The pooled segment moves to the delivered queue as-is (no byte
+		// copy); Read recycles it once consumed.
+		r.delivered = append(r.delivered, d)
+		r.deliveredBytes += len(d)
 		r.expected++
 		r.sinceAck++
 		advanced = true
@@ -278,7 +327,7 @@ func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 	// completely — the tail of a transfer would otherwise never be
 	// cumulatively acknowledged and the sender's Close would hang.
 	needAck := r.sinceAck >= r.cfg.AckEvery || (advanced && len(r.reorder) == 0)
-	if needAck && len(r.delivered) > r.cfg.MaxBufferedBytes {
+	if needAck && r.deliveredBytes > r.cfg.MaxBufferedBytes {
 		r.ackHeld = true
 		r.ackHeldOn = i
 		needAck = false
@@ -302,15 +351,10 @@ func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 // sendSubAck reports how many segments have arrived on subflow i, on that
 // subflow.
 func (r *Receiver) sendSubAck(i int, count uint64) {
-	ack := make([]byte, headerSize)
-	ack[0] = frameSubAck
-	binary.BigEndian.PutUint64(ack[1:9], count)
 	r.mu.Lock()
 	conn := r.conns[i]
 	r.mu.Unlock()
-	r.wmu[i].Lock()
-	_, _ = conn.Write(ack)
-	r.wmu[i].Unlock()
+	_ = r.writeAck(i, conn, frameSubAck, count)
 }
 
 // sendAck emits a cumulative ACK on subflow i (falling back to any other
@@ -318,28 +362,36 @@ func (r *Receiver) sendSubAck(i int, count uint64) {
 func (r *Receiver) sendAck(i int) {
 	r.mu.Lock()
 	cum := r.expected
-	conns := append([]net.Conn(nil), r.conns...)
+	conn := r.conns[i]
+	n := len(r.conns)
 	r.mu.Unlock()
-	ack := make([]byte, headerSize)
-	ack[0] = frameAck
-	binary.BigEndian.PutUint64(ack[1:9], cum)
-	r.wmu[i].Lock()
-	_, err := conns[i].Write(ack)
-	r.wmu[i].Unlock()
-	if err == nil {
+	if r.writeAck(i, conn, frameAck, cum) == nil {
 		return
 	}
-	for j, c := range conns {
+	for j := 0; j < n; j++ {
 		if j == i {
 			continue
 		}
-		r.wmu[j].Lock()
-		_, werr := c.Write(ack)
-		r.wmu[j].Unlock()
-		if werr == nil {
+		r.mu.Lock()
+		c := r.conns[j]
+		r.mu.Unlock()
+		if r.writeAck(j, c, frameAck, cum) == nil {
 			return
 		}
 	}
+}
+
+// writeAck fills subflow i's reusable ACK frame and writes it under the
+// slot's write lock.
+func (r *Receiver) writeAck(i int, conn net.Conn, frameType byte, value uint64) error {
+	r.wmu[i].Lock()
+	defer r.wmu[i].Unlock()
+	ack := r.ackBuf[i]
+	ack[0] = frameType
+	binary.BigEndian.PutUint64(ack[1:9], value)
+	binary.BigEndian.PutUint32(ack[9:13], 0)
+	_, err := conn.Write(ack)
+	return err
 }
 
 // subflowDied records a reader failure for one incarnation; stale

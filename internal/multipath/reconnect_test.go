@@ -94,10 +94,14 @@ func TestSubflowRejoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill subflow 0's socket (path failure); the reconnect loop should
-	// bring the slot back.
+	// bring the slot back. Wait on the sender-side rejoin counter rather
+	// than AliveSubflows: the death may not be detected yet at the first
+	// check, so alive==2 alone cannot distinguish "already rejoined" from
+	// "not yet noticed the kill".
 	_ = senderConns[0].Close()
+	rejoined := reg.Counter("cronets_multipath_rejoins_total", "")
 	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && s.AliveSubflows() < 2 {
+	for time.Now().Before(deadline) && rejoined.Value() < 1 {
 		if _, err := s.Write(payload[half : half+1]); err != nil {
 			t.Fatalf("write during failover: %v", err)
 		}

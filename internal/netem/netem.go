@@ -7,9 +7,9 @@
 package netem
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Impairment describes one direction's shaping.
@@ -240,86 +241,89 @@ func (p *Proxy) handle(idx int64, down net.Conn) {
 		}
 	}()
 
-	done := make(chan struct{}, 2)
-	go func() {
-		p.shapeCopy(up, down, true, p.shapedUp, upRules)
-		if tc, ok := up.(*net.TCPConn); ok {
-			_ = tc.CloseWrite()
-		}
-		done <- struct{}{}
-	}()
-	go func() {
-		p.shapeCopy(down, up, false, p.shapedDown, downRules)
-		if tc, ok := down.(*net.TCPConn); ok {
-			_ = tc.CloseWrite()
-		}
-		done <- struct{}{}
-	}()
-	<-done
-	<-done
+	// The shared data-plane loop carries the bytes; shaping, rate pacing,
+	// and fault triggers ride the per-chunk hook so netem no longer forks
+	// its own copy loop. Each direction keeps its own shaper state.
+	upShape := &shaper{p: p, isUp: true, shaped: p.shapedUp, rules: upRules}
+	downShape := &shaper{p: p, isUp: false, shaped: p.shapedDown, rules: downRules}
+	_, _ = pipe.Bidirectional(context.Background(), down, up, pipe.Options{
+		BufferBytes: p.cfg.ChunkBytes,
+		Hook: func(dir pipe.Dir, chunk []byte, write pipe.WriteFunc) error {
+			if dir == pipe.AToB {
+				return upShape.shape(chunk, write)
+			}
+			return downShape.shape(chunk, write)
+		},
+	})
 }
 
-// shapeCopy copies src to dst applying the direction's impairment (re-read
-// each chunk so SetImpairment takes effect mid-flow), drawing jitter from
-// the proxy's seeded source and recording shaped bytes + added delay.
-// rules are this direction's armed fault rules: byte-offset triggers are
-// enforced exactly (chunks are split at the offset) and a blackholed
-// direction parks here, keeping the sockets open, until the proxy closes.
-func (p *Proxy) shapeCopy(dst io.Writer, src io.Reader, isUp bool, shaped *obs.Counter, rules []*armedRule) {
-	buf := make([]byte, p.cfg.ChunkBytes)
-	var budget time.Time // rate-limit pacing horizon
-	var fwd int64        // bytes forwarded in this direction
-	for {
-		rn, err := src.Read(buf)
-		chunk := buf[:rn]
-		for len(chunk) > 0 {
-			// A blackholed direction parks until the proxy closes,
-			// keeping both sockets open — the silent-failure mode.
-			for _, a := range rules {
-				if a.blackhole.Load() {
-					<-p.stopc
-					return
-				}
-			}
-			imp := p.impairment(isUp)
-			// Split the chunk at the nearest pending byte-offset trigger
-			// so the fault lands exactly on its offset.
-			n := len(chunk)
-			for _, a := range rules {
-				if a.rule.AfterBytes > fwd && a.rule.AfterBytes < fwd+int64(n) {
-					n = int(a.rule.AfterBytes - fwd)
-				}
-			}
-			delay := imp.Latency + p.jitter(imp.Jitter)
-			if imp.RateMbps > 0 {
-				cost := time.Duration(float64(n*8) / (imp.RateMbps * 1e6) * float64(time.Second))
-				now := time.Now()
-				if budget.Before(now) {
-					budget = now
-				}
-				budget = budget.Add(cost)
-				if wait := time.Until(budget); wait > 0 {
-					time.Sleep(wait)
-				}
-			}
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			p.delayHist.Observe(delay.Seconds())
-			if _, werr := dst.Write(chunk[:n]); werr != nil {
-				return
-			}
-			shaped.Add(int64(n))
-			fwd += int64(n)
-			chunk = chunk[n:]
-			for _, a := range rules {
-				if a.rule.AfterBytes > 0 && fwd >= a.rule.AfterBytes {
-					a.fire(fmt.Sprintf("at %d bytes", fwd))
-				}
+// errBlackholed aborts a parked direction once the proxy shuts down.
+var errBlackholed = errors.New("netem: blackholed direction released at shutdown")
+
+// shaper is one direction's impairment state over the shared loop.
+type shaper struct {
+	p      *Proxy
+	isUp   bool
+	shaped *obs.Counter
+	rules  []*armedRule
+
+	budget time.Time // rate-limit pacing horizon
+	fwd    int64     // bytes forwarded in this direction
+}
+
+// shape applies the direction's impairment to one chunk (re-reading the
+// live impairment per piece so SetImpairment takes effect mid-flow),
+// drawing jitter from the proxy's seeded source and recording shaped
+// bytes + added delay. Byte-offset fault triggers are enforced exactly
+// (the chunk is split at the offset) and a blackholed direction parks
+// here, keeping the sockets open, until the proxy closes.
+func (s *shaper) shape(chunk []byte, write pipe.WriteFunc) error {
+	p := s.p
+	for len(chunk) > 0 {
+		// A blackholed direction parks until the proxy closes, keeping
+		// both sockets open — the silent-failure mode.
+		for _, a := range s.rules {
+			if a.blackhole.Load() {
+				<-p.stopc
+				return errBlackholed
 			}
 		}
-		if err != nil {
-			return
+		imp := p.impairment(s.isUp)
+		// Split the chunk at the nearest pending byte-offset trigger
+		// so the fault lands exactly on its offset.
+		n := len(chunk)
+		for _, a := range s.rules {
+			if a.rule.AfterBytes > s.fwd && a.rule.AfterBytes < s.fwd+int64(n) {
+				n = int(a.rule.AfterBytes - s.fwd)
+			}
+		}
+		delay := imp.Latency + p.jitter(imp.Jitter)
+		if imp.RateMbps > 0 {
+			cost := time.Duration(float64(n*8) / (imp.RateMbps * 1e6) * float64(time.Second))
+			now := time.Now()
+			if s.budget.Before(now) {
+				s.budget = now
+			}
+			s.budget = s.budget.Add(cost)
+			if wait := time.Until(s.budget); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		p.delayHist.Observe(delay.Seconds())
+		if err := write(chunk[:n]); err != nil {
+			return err
+		}
+		s.shaped.Add(int64(n))
+		s.fwd += int64(n)
+		chunk = chunk[n:]
+		for _, a := range s.rules {
+			if a.rule.AfterBytes > 0 && s.fwd >= a.rule.AfterBytes {
+				a.fire(fmt.Sprintf("at %d bytes", s.fwd))
+			}
 		}
 	}
+	return nil
 }

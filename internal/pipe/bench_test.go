@@ -1,0 +1,112 @@
+package pipe
+
+import (
+	"context"
+	"net"
+	"testing"
+)
+
+// BenchmarkPipeBidirectional measures one spliced connection per
+// iteration: dial a splice bridging to an echo server, push 1 MiB through
+// both directions, tear down. The splice itself must not allocate per
+// flow beyond fixed goroutine overhead — its buffers come from the pool.
+func BenchmarkPipeBidirectional(b *testing.B) {
+	echoLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer echoLn.Close()
+	go func() {
+		for {
+			c, err := echoLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						closeWrite(c)
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	spliceLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer spliceLn.Close()
+	go func() {
+		for {
+			down, err := spliceLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(down net.Conn) {
+				defer down.Close()
+				up, err := net.Dial("tcp", echoLn.Addr().String())
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				_, _ = Bidirectional(context.Background(), down, up, Options{
+					BufferBytes: 256 << 10,
+				})
+			}(down)
+		}
+	}()
+
+	const total = 1 << 20
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	drain := make([]byte, 64<<10)
+
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := net.Dial("tcp", spliceLn.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sent, rcvd int
+		done := make(chan error, 1)
+		go func() {
+			for rcvd < total {
+				n, err := conn.Read(drain)
+				rcvd += n
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		for sent < total {
+			n := len(payload)
+			if total-sent < n {
+				n = total - sent
+			}
+			if _, err := conn.Write(payload[:n]); err != nil {
+				b.Fatal(err)
+			}
+			sent += n
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		_ = conn.Close()
+	}
+}

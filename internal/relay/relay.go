@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Dialer abstracts net.Dialer for tests.
@@ -307,7 +308,7 @@ func (r *Relay) handle(down net.Conn) error {
 	if br != nil && br.Buffered() > 0 {
 		downReader = io.MultiReader(io.LimitReader(br, int64(br.Buffered())), down)
 	}
-	return r.pipe(down, downReader, up)
+	return r.splice(down, downReader, up)
 }
 
 // dialUpstream dials the target, retrying transient failures (refused,
@@ -348,51 +349,24 @@ func transientDialError(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-// pipe copies both directions until either side closes or the idle timeout
-// fires.
-func (r *Relay) pipe(down net.Conn, downReader io.Reader, up net.Conn) error {
-	errc := make(chan error, 1)
-	idle := newIdleWatch(r.cfg.IdleTimeout, func() {
-		r.scope.Event(obs.EventIdleClose, down.RemoteAddr().String())
-		_ = down.Close()
-		_ = up.Close()
+// splice runs the shared data-plane loop over the connection pair: pooled
+// buffers, live byte counters, TCP half-close propagation, and the idle
+// timeout, all from internal/pipe.
+func (r *Relay) splice(down net.Conn, downReader io.Reader, up net.Conn) error {
+	a := down
+	if downReader != io.Reader(down) {
+		// Replay handshake bytes the CONNECT reader over-read.
+		a = pipe.WithReader(down, downReader)
+	}
+	_, err := pipe.Bidirectional(context.Background(), a, up, pipe.Options{
+		BufferBytes: r.cfg.BufferBytes,
+		IdleTimeout: r.cfg.IdleTimeout,
+		OnIdle: func() {
+			r.scope.Event(obs.EventIdleClose, down.RemoteAddr().String())
+		},
+		CountAToB: &r.stats.BytesUp,
+		CountBToA: &r.stats.BytesDown,
 	})
-	defer idle.stop()
-
-	copyDir := func(dst net.Conn, src io.Reader, counter *atomic.Int64) {
-		buf := make([]byte, r.cfg.BufferBytes)
-		for {
-			n, err := src.Read(buf)
-			if n > 0 {
-				counter.Add(int64(n))
-				idle.touch()
-				if _, werr := dst.Write(buf[:n]); werr != nil {
-					errc <- werr
-					return
-				}
-			}
-			if err != nil {
-				// Half-close toward the destination so in-flight data
-				// drains before teardown.
-				if tc, ok := dst.(*net.TCPConn); ok {
-					_ = tc.CloseWrite()
-				}
-				errc <- err
-				return
-			}
-		}
-	}
-	go copyDir(up, downReader, &r.stats.BytesUp)
-	go copyDir(down, up, &r.stats.BytesDown)
-
-	err := <-errc
-	// First direction finished; closing both ends unblocks the second.
-	_ = down.Close()
-	_ = up.Close()
-	<-errc
-	if err == io.EOF || errors.Is(err, net.ErrClosed) {
-		return nil
-	}
 	return err
 }
 
@@ -452,40 +426,3 @@ type bufferedConn struct {
 }
 
 func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
-
-// idleWatch fires a callback when no traffic is seen for the timeout.
-type idleWatch struct {
-	timeout time.Duration
-	timer   *time.Timer
-	mu      sync.Mutex
-	stopped bool
-}
-
-func newIdleWatch(timeout time.Duration, onIdle func()) *idleWatch {
-	w := &idleWatch{timeout: timeout}
-	if timeout > 0 {
-		w.timer = time.AfterFunc(timeout, onIdle)
-	}
-	return w
-}
-
-func (w *idleWatch) touch() {
-	if w.timer == nil {
-		return
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if !w.stopped {
-		w.timer.Reset(w.timeout)
-	}
-}
-
-func (w *idleWatch) stop() {
-	if w.timer == nil {
-		return
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.stopped = true
-	w.timer.Stop()
-}

@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"cronets/internal/pipe"
 )
 
 // echoServer accepts connections and echoes everything back.
@@ -29,7 +31,7 @@ func echoServer(t *testing.T) net.Listener {
 			}
 			go func() {
 				defer conn.Close()
-				_, _ = io.Copy(conn, conn)
+				_, _ = pipe.CopyMetered(conn, conn, pipe.CopyOptions{})
 			}()
 		}
 	}()

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cronets/internal/obs"
+	"cronets/internal/pipe"
 )
 
 // Endpoint sends and receives encapsulated packets over a framed stream —
@@ -29,7 +30,8 @@ func NewEndpoint(rw io.ReadWriter) *Endpoint {
 	return e
 }
 
-// Send encapsulates and writes one packet.
+// Send encapsulates and writes one packet. The marshal buffer comes from
+// the data-plane pool, so a steady packet stream allocates nothing.
 func (e *Endpoint) Send(p Packet) error {
 	e.mu.Lock()
 	closed := e.closed
@@ -37,11 +39,18 @@ func (e *Endpoint) Send(p Packet) error {
 	if closed {
 		return ErrClosed
 	}
-	buf, err := p.Marshal()
+	if len(p.Payload) > MaxFrameSize-packetHeaderSize {
+		return ErrFrameTooLarge
+	}
+	buf := pipe.Get(packetHeaderSize + len(p.Payload))
+	n, err := p.MarshalInto(buf)
 	if err != nil {
+		pipe.Put(buf)
 		return err
 	}
-	return e.f.WriteFrame(buf)
+	err = e.f.WriteFrame(buf[:n])
+	pipe.Put(buf)
+	return err
 }
 
 // Recv reads and decapsulates one packet, blocking until one arrives.

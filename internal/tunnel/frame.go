@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"cronets/internal/pipe"
 )
 
 // MaxFrameSize bounds a single encapsulated packet (64 KiB payload plus
@@ -32,7 +34,6 @@ type Framer struct {
 	rw  io.ReadWriter
 
 	rbuf [4]byte
-	wbuf [4]byte
 }
 
 // NewFramer wraps the stream.
@@ -40,19 +41,22 @@ func NewFramer(rw io.ReadWriter) *Framer {
 	return &Framer{rw: rw}
 }
 
-// WriteFrame writes one length-prefixed frame.
+// WriteFrame writes one length-prefixed frame. Header and body go out in
+// a single pooled write so a frame costs one syscall on a net.Conn and
+// cannot interleave with another writer's header/body pair.
 func (f *Framer) WriteFrame(p []byte) error {
 	if len(p) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	f.wmu.Lock()
 	defer f.wmu.Unlock()
-	binary.BigEndian.PutUint32(f.wbuf[:], uint32(len(p)))
-	if _, err := f.rw.Write(f.wbuf[:]); err != nil {
-		return fmt.Errorf("tunnel: write frame header: %w", err)
-	}
-	if _, err := f.rw.Write(p); err != nil {
-		return fmt.Errorf("tunnel: write frame body: %w", err)
+	buf := pipe.Get(4 + len(p))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(p)))
+	copy(buf[4:], p)
+	_, err := f.rw.Write(buf)
+	pipe.Put(buf)
+	if err != nil {
+		return fmt.Errorf("tunnel: write frame: %w", err)
 	}
 	return nil
 }

@@ -40,21 +40,38 @@ type Packet struct {
 // 2 x (16-byte address + 2-byte port).
 const packetHeaderSize = 1 + 2*(16+2)
 
-// Marshal encodes the packet into a frame body.
+// Marshal encodes the packet into a freshly allocated frame body.
 func (p Packet) Marshal() ([]byte, error) {
 	if len(p.Payload) > MaxFrameSize-packetHeaderSize {
 		return nil, ErrFrameTooLarge
 	}
 	buf := make([]byte, packetHeaderSize+len(p.Payload))
-	buf[0] = byte(p.Proto)
+	if _, err := p.MarshalInto(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MarshalInto encodes the packet into dst (which must hold at least
+// packetHeaderSize + len(Payload) bytes) and returns the encoded length.
+// It lets callers reuse a pooled buffer instead of allocating per packet.
+func (p Packet) MarshalInto(dst []byte) (int, error) {
+	if len(p.Payload) > MaxFrameSize-packetHeaderSize {
+		return 0, ErrFrameTooLarge
+	}
+	n := packetHeaderSize + len(p.Payload)
+	if len(dst) < n {
+		return 0, fmt.Errorf("tunnel: marshal buffer too small: %d < %d", len(dst), n)
+	}
+	dst[0] = byte(p.Proto)
 	src16 := p.Src.Addr().As16()
 	dst16 := p.Dst.Addr().As16()
-	copy(buf[1:17], src16[:])
-	binary.BigEndian.PutUint16(buf[17:19], p.Src.Port())
-	copy(buf[19:35], dst16[:])
-	binary.BigEndian.PutUint16(buf[35:37], p.Dst.Port())
-	copy(buf[packetHeaderSize:], p.Payload)
-	return buf, nil
+	copy(dst[1:17], src16[:])
+	binary.BigEndian.PutUint16(dst[17:19], p.Src.Port())
+	copy(dst[19:35], dst16[:])
+	binary.BigEndian.PutUint16(dst[35:37], p.Dst.Port())
+	copy(dst[packetHeaderSize:n], p.Payload)
+	return n, nil
 }
 
 // UnmarshalPacket decodes a frame body into a packet. The payload aliases
