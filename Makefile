@@ -8,10 +8,12 @@
 #   make fmt          gofmt diff gate (fails if any file needs formatting)
 #   make check        all of the above
 #   make bench        data-plane benchmarks (pipe, relay, multipath)
+#   make trace-smoke  flow-tracing gate: the tracing e2e under -race plus
+#                     the unsampled-path zero-allocation check
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt check bench
+.PHONY: build test test-short race vet fmt check bench trace-smoke
 
 build:
 	$(GO) build ./...
@@ -38,3 +40,9 @@ check: fmt vet test race
 
 bench:
 	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive' -benchmem ./...
+
+# The alloc gate runs without -race (the race runtime adds allocations of
+# its own); the e2e runs with it.
+trace-smoke:
+	$(GO) test -race -run TestFlowTraceEndToEnd .
+	$(GO) test -run TestUnsampledPathAllocs ./internal/flowtrace/

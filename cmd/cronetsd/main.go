@@ -22,8 +22,11 @@
 //
 // With -metrics-addr set, the node serves /metrics (Prometheus text),
 // /metrics.json (JSON snapshot), /debug/vars (expvar JSON including the
-// registry under "cronets"), /debug/events (flow-event ring), and
-// /healthz.
+// registry under "cronets"), /debug/events (flow-event ring),
+// /debug/traces (assembled flow traces when -trace-sample-rate > 0),
+// /debug/pprof/* (runtime profiles), and /healthz. Runtime telemetry
+// (goroutines, heap, GC pauses) is sampled every 10 s into the
+// cronets_runtime_* series.
 package main
 
 import (
@@ -33,12 +36,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/gateway"
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
@@ -59,6 +64,7 @@ type options struct {
 	statsEvery  time.Duration
 	dialRetries int
 	dialBackoff time.Duration
+	traceRate   float64
 
 	// Gateway-mode flags.
 	gatewayAddr   string
@@ -81,6 +87,7 @@ func main() {
 	flag.DurationVar(&o.statsEvery, "stats-interval", 30*time.Second, "period of the stats summary log line (0 = disabled)")
 	flag.IntVar(&o.dialRetries, "dial-retries", 2, "upstream dial retries on transient errors (refused/timeout)")
 	flag.DurationVar(&o.dialBackoff, "dial-retry-backoff", 50*time.Millisecond, "initial backoff between upstream dial retries (doubles per attempt)")
+	flag.Float64Var(&o.traceRate, "trace-sample-rate", 0, "fraction of flows to trace through internal/flowtrace (0 = tracing off, 1 = every flow)")
 	flag.StringVar(&o.gatewayAddr, "gateway-addr", "", "run as a client gateway listening on this address (empty = relay mode)")
 	flag.StringVar(&o.fleet, "fleet", "", "comma-separated relay CONNECT endpoints the gateway's monitor probes")
 	flag.DurationVar(&o.probeInterval, "probe-interval", 5*time.Second, "gateway path-probe round period")
@@ -112,6 +119,7 @@ func runRelay(o options) error {
 	}
 	reg := obs.NewRegistry()
 	pipe.InstrumentPool(reg)
+	tracer := newTracer(o, "relay", reg)
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", o.listen, err)
@@ -123,6 +131,7 @@ func runRelay(o options) error {
 		BufferBytes: o.bufKB << 10,
 		ACL:         acl,
 		Obs:         reg,
+		Tracer:      tracer,
 
 		DialRetries:      o.dialRetries,
 		DialRetryBackoff: o.dialBackoff,
@@ -134,14 +143,14 @@ func runRelay(o options) error {
 	slog.Info("cronetsd listening", "addr", r.Addr().String(), "mode", mode)
 
 	if o.metricsAddr != "" {
-		msrv, err := serveMetrics(o.metricsAddr, reg)
+		msrv, err := serveMetrics(o.metricsAddr, reg, tracer)
 		if err != nil {
 			_ = r.Close()
 			return err
 		}
 		defer msrv.Close()
 		slog.Info("metrics listening", "addr", msrv.addr,
-			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /healthz")
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /debug/traces /debug/pprof /healthz")
 	}
 
 	stopSummary := make(chan struct{})
@@ -197,6 +206,7 @@ func runGateway(o options) error {
 	}
 	reg := obs.NewRegistry()
 	pipe.InstrumentPool(reg)
+	tracer := newTracer(o, "gateway", reg)
 
 	mon, err := pathmon.New(pathmon.Config{
 		Dest:         probeTarget,
@@ -218,6 +228,7 @@ func runGateway(o options) error {
 		IdleTimeout: o.idle,
 		BufferBytes: o.bufKB << 10,
 		Obs:         reg,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return err
@@ -231,7 +242,7 @@ func runGateway(o options) error {
 		"fleet", strings.Join(fleet, ","), "probe_interval", o.probeInterval.String())
 
 	if o.metricsAddr != "" {
-		msrv, err := serveMetrics(o.metricsAddr, reg)
+		msrv, err := serveMetrics(o.metricsAddr, reg, tracer)
 		if err != nil {
 			_ = gw.Close()
 			_ = ln.Close()
@@ -239,7 +250,7 @@ func runGateway(o options) error {
 		}
 		defer msrv.Close()
 		slog.Info("metrics listening", "addr", msrv.addr,
-			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /healthz")
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /debug/traces /debug/pprof /healthz")
 	}
 
 	stopSummary := make(chan struct{})
@@ -312,21 +323,45 @@ func logGatewayStats(gw *gateway.Gateway, mon *pathmon.Monitor, msg string) {
 	)
 }
 
-// metricsServer is the observability HTTP listener.
-type metricsServer struct {
-	addr string
-	srv  *http.Server
-	ln   net.Listener
+// newTracer builds the node's flow tracer, or nil when tracing is off
+// (every instrumented component treats a nil tracer as a no-op).
+func newTracer(o options, node string, reg *obs.Registry) *flowtrace.Tracer {
+	if o.traceRate <= 0 {
+		return nil
+	}
+	return flowtrace.New(flowtrace.Config{
+		Node:       node,
+		SampleRate: o.traceRate,
+		Obs:        reg,
+	})
 }
 
-// serveMetrics starts the observability endpoints on addr.
-func serveMetrics(addr string, reg *obs.Registry) (*metricsServer, error) {
+// metricsServer is the observability HTTP listener.
+type metricsServer struct {
+	addr        string
+	srv         *http.Server
+	ln          net.Listener
+	stopRuntime func()
+}
+
+// serveMetrics starts the observability endpoints on addr: metrics,
+// events, flow traces, pprof profiles, and the sampled runtime-stats
+// collector behind the cronets_runtime_* series.
+func serveMetrics(addr string, reg *obs.Registry, tracer *flowtrace.Tracer) (*metricsServer, error) {
 	reg.PublishExpvar("cronets")
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())
 	mux.Handle("/metrics.json", reg.JSONHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/events", reg.EventsHandler())
+	mux.Handle("/debug/traces", tracer.Handler())
+	// The binary never touches http.DefaultServeMux, so the pprof
+	// endpoints are mounted explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = w.Write([]byte("ok\n"))
 	})
@@ -334,7 +369,12 @@ func serveMetrics(addr string, reg *obs.Registry) (*metricsServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
 	}
-	m := &metricsServer{addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	m := &metricsServer{
+		addr:        ln.Addr().String(),
+		srv:         &http.Server{Handler: mux},
+		ln:          ln,
+		stopRuntime: obs.StartRuntime(reg, 10*time.Second),
+	}
 	go func() {
 		if err := m.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			slog.Error("metrics server failed", "err", err)
@@ -343,4 +383,7 @@ func serveMetrics(addr string, reg *obs.Registry) (*metricsServer, error) {
 	return m, nil
 }
 
-func (m *metricsServer) Close() { _ = m.srv.Close() }
+func (m *metricsServer) Close() {
+	m.stopRuntime()
+	_ = m.srv.Close()
+}

@@ -1,0 +1,129 @@
+package flowtrace
+
+import "encoding/hex"
+
+// TraceID identifies one end-to-end flow trace.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the ID as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// Context is the trace state propagated across overlay hops: which trace
+// a flow belongs to, which span the next hop should parent under, and
+// whether the flow is sampled. An unsampled (or zero) Context is never
+// put on the wire — hops only see contexts worth recording.
+type Context struct {
+	Trace   TraceID
+	Span    uint64
+	Sampled bool
+}
+
+// WireSize is the binary encoding length: 16-byte trace ID plus an
+// 8-byte span word whose top bit carries the sampling flag (span IDs are
+// generated with that bit clear).
+const WireSize = 24
+
+// TextSize is the hex text encoding length (2 chars per wire byte).
+const TextSize = 2 * WireSize
+
+// sampledBit is bit 63 of the wire span word.
+const sampledBit = uint64(1) << 63
+
+// IsZero reports whether the context carries no trace.
+func (c Context) IsZero() bool { return c.Trace.IsZero() }
+
+// EncodeBinary writes the 24-byte wire form into dst, which must hold at
+// least WireSize bytes, and returns WireSize.
+func (c Context) EncodeBinary(dst []byte) int {
+	_ = dst[WireSize-1]
+	copy(dst[:16], c.Trace[:])
+	word := c.Span &^ sampledBit
+	if c.Sampled {
+		word |= sampledBit
+	}
+	putUint64(dst[16:24], word)
+	return WireSize
+}
+
+// DecodeBinary parses a 24-byte wire context. ok is false if b is short
+// or the trace ID is zero.
+func DecodeBinary(b []byte) (c Context, ok bool) {
+	if len(b) < WireSize {
+		return Context{}, false
+	}
+	copy(c.Trace[:], b[:16])
+	word := getUint64(b[16:24])
+	c.Span = word &^ sampledBit
+	c.Sampled = word&sampledBit != 0
+	return c, !c.Trace.IsZero()
+}
+
+// EncodeText returns the 48-hex-character text form used in the relay
+// CONNECT preamble.
+func (c Context) EncodeText() string {
+	var wire [WireSize]byte
+	c.EncodeBinary(wire[:])
+	return hex.EncodeToString(wire[:])
+}
+
+// DecodeText parses the text form produced by EncodeText.
+func DecodeText(s string) (Context, bool) {
+	if len(s) != TextSize {
+		return Context{}, false
+	}
+	return decodeHex([]byte(s))
+}
+
+// DecodeTextBytes is DecodeText over a byte slice. It allocates nothing,
+// so transparent middleboxes (netem) can sniff passing handshakes at
+// zero cost when no context is present.
+func DecodeTextBytes(b []byte) (Context, bool) {
+	if len(b) != TextSize {
+		return Context{}, false
+	}
+	return decodeHex(b)
+}
+
+func decodeHex(b []byte) (Context, bool) {
+	var wire [WireSize]byte
+	for i := 0; i < WireSize; i++ {
+		hi, ok1 := hexNibble(b[2*i])
+		lo, ok2 := hexNibble(b[2*i+1])
+		if !ok1 || !ok2 {
+			return Context{}, false
+		}
+		wire[i] = hi<<4 | lo
+	}
+	return DecodeBinary(wire[:])
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

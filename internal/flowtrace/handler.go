@@ -1,0 +1,129 @@
+package flowtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"cronets/internal/obs"
+)
+
+// SpanRecord is a completed span's JSON form.
+type SpanRecord struct {
+	TraceID     string    `json:"trace_id"`
+	SpanID      string    `json:"span_id"`
+	ParentID    string    `json:"parent_id,omitempty"`
+	Name        string    `json:"name"`
+	Node        string    `json:"node"`
+	Detail      string    `json:"detail,omitempty"`
+	Start       time.Time `json:"start"`
+	DurationMS  float64   `json:"duration_ms"`
+	Bytes       int64     `json:"bytes,omitempty"`
+	FirstByteMS float64   `json:"first_byte_ms,omitempty"`
+}
+
+// Trace is an assembled trace: every completed span sharing one trace
+// ID, start-ordered.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// Root is the root span's name ("" when the root has not ended yet
+	// or was overwritten in the ring).
+	Root  string    `json:"root,omitempty"`
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's duration when present, otherwise
+	// the envelope of the known spans.
+	DurationMS float64      `json:"duration_ms"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// record converts a completed span.
+func record(s *Span) SpanRecord {
+	r := SpanRecord{
+		TraceID:    s.Trace.String(),
+		SpanID:     strconv.FormatUint(s.ID, 16),
+		Name:       s.Name,
+		Node:       s.NodeName,
+		Detail:     s.Detail,
+		Start:      s.StartTime,
+		DurationMS: s.Duration().Seconds() * 1e3,
+		Bytes:      s.Bytes(),
+	}
+	if s.Parent != 0 {
+		r.ParentID = strconv.FormatUint(s.Parent, 16)
+	}
+	if fb, ok := s.FirstByte(); ok {
+		r.FirstByteMS = fb.Seconds() * 1e3
+	}
+	return r
+}
+
+// Traces assembles the ring's completed spans into traces, most recent
+// trace first. Nil-safe.
+func (t *Tracer) Traces() []Trace {
+	spans := t.Snapshot()
+	byTrace := make(map[TraceID][]*Span)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	out := make([]Trace, 0, len(byTrace))
+	for id, group := range byTrace {
+		sort.SliceStable(group, func(i, j int) bool {
+			return group[i].StartTime.Before(group[j].StartTime)
+		})
+		tr := Trace{TraceID: id.String(), Start: group[0].StartTime}
+		var envelopeEnd time.Time
+		for _, s := range group {
+			tr.Spans = append(tr.Spans, record(s))
+			if s.Parent == 0 {
+				tr.Root = s.Name
+				tr.DurationMS = s.Duration().Seconds() * 1e3
+			}
+			if end := s.StartTime.Add(s.Duration()); end.After(envelopeEnd) {
+				envelopeEnd = end
+			}
+		}
+		if tr.Root == "" {
+			tr.DurationMS = envelopeEnd.Sub(tr.Start).Seconds() * 1e3
+		}
+		out = append(out, tr)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Handler serves assembled traces as a JSON array on /debug/traces.
+// Query parameters: ?trace=<32-hex trace ID> keeps one trace,
+// ?min_dur=<Go duration> drops traces shorter than the bound. GET only;
+// responses are uncacheable.
+func (t *Tracer) Handler() http.Handler {
+	return obs.GETOnly(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var minDur time.Duration
+		if v := q.Get("min_dur"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min_dur: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			minDur = d
+		}
+		wantTrace := q.Get("trace")
+		traces := t.Traces()
+		filtered := make([]Trace, 0, len(traces))
+		for _, tr := range traces {
+			if wantTrace != "" && tr.TraceID != wantTrace {
+				continue
+			}
+			if minDur > 0 && time.Duration(tr.DurationMS*float64(time.Millisecond)) < minDur {
+				continue
+			}
+			filtered = append(filtered, tr)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(filtered)
+	}))
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
 	"cronets/internal/pipe"
@@ -50,6 +51,11 @@ type Config struct {
 	// Obs receives gateway metrics and flow events (nil disables
 	// instrumentation).
 	Obs *obs.Registry
+	// Tracer makes the gateway a trace origin: sampled flows get a root
+	// span, a path-selection dial span, and their context is propagated
+	// to relays in the CONNECT preamble. Nil disables tracing; unsampled
+	// flows stay allocation-free.
+	Tracer *flowtrace.Tracer
 }
 
 // Stats are cumulative gateway counters, safe to read concurrently.
@@ -177,7 +183,18 @@ func (g *Gateway) candidates() []pathmon.Path {
 // Dial opens one connection to the destination over the current best
 // path, falling back to the next-ranked paths on dial failure. It
 // returns the connection and the path it actually took.
+//
+// Tracing: with a Tracer configured, Dial records a gateway.dial span
+// covering path selection and every attempt. The span parents under the
+// flow context carried in ctx (flowtrace.NewGoContext) or, absent one,
+// starts a new trace subject to the sampling rate; relay attempts
+// propagate the span's context in the CONNECT preamble.
 func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
+	span := g.cfg.Tracer.Start("gateway.dial", flowtrace.FromGoContext(ctx))
+	defer span.End()
+	if span != nil {
+		ctx = flowtrace.NewGoContext(ctx, span.Context())
+	}
 	cands := g.candidates()
 	if len(cands) > g.cfg.MaxAttempts {
 		cands = cands[:g.cfg.MaxAttempts]
@@ -205,11 +222,17 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 		} else {
 			g.scope.Event(obs.EventDial, "ok "+p.String())
 		}
+		if span != nil {
+			span.SetDetail(p.String())
+		}
 		return conn, p, nil
 	}
 	g.stats.DialFailures.Add(1)
 	if lastErr == nil {
 		lastErr = errors.New("no candidate paths")
+	}
+	if span != nil {
+		span.SetDetail(fmt.Sprintf("failed after %d path(s)", len(cands)))
 	}
 	return nil, pathmon.Path{}, fmt.Errorf("gateway: all %d path(s) failed: %w", len(cands), lastErr)
 }
@@ -302,16 +325,25 @@ func (g *Gateway) untrack(c net.Conn) {
 	_ = c.Close()
 }
 
-// handle pipes one accepted connection to the destination.
+// handle pipes one accepted connection to the destination. Each flow is
+// a trace root: the sampling decision happens here, and every downstream
+// hop's spans parent (transitively) under this flow span.
 func (g *Gateway) handle(down net.Conn) {
-	up, path, err := g.Dial(context.Background())
+	flow := g.cfg.Tracer.Start("gateway.flow", flowtrace.Context{})
+	defer flow.End()
+	ctx := flowtrace.NewGoContext(context.Background(), flow.Context())
+
+	up, path, err := g.Dial(ctx)
 	if err != nil {
+		flow.SetDetail("dial failed")
 		g.scope.Logger().Warn("gateway dial failed", "err", err)
 		return
 	}
 	g.track(up)
 	defer g.untrack(up)
-	_ = path // path is already recorded by Dial's metrics/events
+	if flow != nil {
+		flow.SetDetail("via " + path.String())
+	}
 
 	g.stats.Active.Add(1)
 	defer g.stats.Active.Add(-1)
@@ -319,7 +351,7 @@ func (g *Gateway) handle(down net.Conn) {
 	// The shared data-plane loop: pooled buffers, live byte counters,
 	// half-close propagation, and the idle timeout a dead peer would
 	// otherwise evade forever.
-	res, err := pipe.Bidirectional(context.Background(), down, up, pipe.Options{
+	opts := pipe.Options{
 		BufferBytes: g.cfg.BufferBytes,
 		IdleTimeout: g.cfg.IdleTimeout,
 		OnIdle: func() {
@@ -327,7 +359,19 @@ func (g *Gateway) handle(down net.Conn) {
 		},
 		CountAToB: &g.stats.BytesUp,
 		CountBToA: &g.stats.BytesDown,
-	})
+	}
+	if flow != nil {
+		// TTFB at the gateway: the first byte the destination sends back
+		// toward the client, measured from flow start (which includes
+		// path selection and the overlay dial).
+		opts.OnFirstByte = func(dir pipe.Dir) {
+			if dir == pipe.BToA {
+				flow.MarkFirstByte()
+			}
+		}
+	}
+	res, err := pipe.Bidirectional(context.Background(), down, up, opts)
+	flow.AddBytes(res.AToB + res.BToA)
 	g.flowDur.ObserveDuration(res.Duration)
 	if err != nil {
 		g.scope.Logger().Debug("gateway flow ended with error", "err", err)

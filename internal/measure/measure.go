@@ -245,8 +245,20 @@ func guardDeadline(ctx context.Context, conn net.Conn) (stop func()) {
 // error so callers see context.DeadlineExceeded/Canceled rather than a
 // generic timeout.
 func ctxError(ctx context.Context, err error) error {
-	if err != nil && ctx.Err() != nil {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
 		return fmt.Errorf("measure: %w", ctx.Err())
+	}
+	// guardDeadline pins the connection deadline to the context deadline,
+	// and the netpoller can unblock the I/O a beat before the context's own
+	// timer fires ctx.Done. A timeout observed at or past the context
+	// deadline is therefore the context's doing even if ctx.Err() is still
+	// nil at this instant.
+	var ne net.Error
+	if dl, ok := ctx.Deadline(); ok && errors.As(err, &ne) && ne.Timeout() && !time.Now().Before(dl) {
+		return fmt.Errorf("measure: %w", context.DeadlineExceeded)
 	}
 	return err
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pipe"
 )
@@ -99,6 +100,15 @@ type Config struct {
 	// Obs receives per-subflow metrics and failover events (nil disables
 	// instrumentation at zero cost).
 	Obs *obs.Registry
+	// Tracer records flowtrace spans for the channel: the sender opens a
+	// "multipath.send" span at construction (a new root when TraceCtx is
+	// zero, subject to sampling), the receiver continues a "multipath.recv"
+	// span under TraceCtx. Nil disables tracing at zero cost.
+	Tracer *flowtrace.Tracer
+	// TraceCtx parents the channel's spans under an existing flow. The
+	// context travels by configuration, not on the multipath wire, so both
+	// ends must be handed the same value (like ChannelID).
+	TraceCtx flowtrace.Context
 }
 
 func (c *Config) applyDefaults() {
@@ -228,6 +238,7 @@ type Sender struct {
 	retransmits *obs.Counter
 	rejoins     *obs.Counter
 	scope       *obs.Scope
+	span        *flowtrace.Span // "multipath.send", nil when untraced
 }
 
 // NewSender builds the sending side over the given subflow connections
@@ -267,6 +278,8 @@ func NewSender(conns []net.Conn, cfg Config) (*Sender, error) {
 			"Payload bytes written per subflow.")
 		s.scope.Event(obs.EventSubflowUp, "subflow "+strconv.Itoa(i))
 	}
+	s.span = cfg.Tracer.Start("multipath.send", cfg.TraceCtx)
+	s.span.SetDetail(strconv.Itoa(len(conns)) + " subflows")
 	for i, c := range s.conns {
 		s.wg.Add(2)
 		go s.writeLoop(i, 0, c)
@@ -376,6 +389,7 @@ func (s *Sender) Close() error {
 		releaseSegLocked(seg)
 	}
 	s.mu.Unlock()
+	s.span.End()
 	return err
 }
 
@@ -448,6 +462,8 @@ func (s *Sender) writeLoop(i int, epoch uint64, conn net.Conn) {
 			return
 		}
 		s.bytesBy[i].Add(int64(segLen))
+		s.span.MarkFirstByte()
+		s.span.AddBytes(int64(segLen))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pipe"
 )
@@ -55,6 +56,7 @@ type Receiver struct {
 
 	reorderDepth *obs.Gauge
 	scope        *obs.Scope
+	span         *flowtrace.Span // "multipath.recv", nil when untraced
 }
 
 // NewReceiver builds the receiving side over the subflow connections and
@@ -81,6 +83,8 @@ func NewReceiver(conns []net.Conn, cfg Config) (*Receiver, error) {
 	r.scope = cfg.Obs.Scope("multipath")
 	r.reorderDepth = cfg.Obs.Gauge("cronets_multipath_reorder_depth",
 		"Segments parked in the receiver's reassembly queue.")
+	r.span = cfg.Tracer.Continue("multipath.recv", cfg.TraceCtx)
+	r.span.SetDetail(strconv.Itoa(len(conns)) + " subflows")
 	for i, c := range r.conns {
 		r.alive[i] = true
 		r.wg.Add(1)
@@ -173,6 +177,7 @@ func (r *Receiver) Close() error {
 	r.deliveredOff = 0
 	r.deliveredBytes = 0
 	r.mu.Unlock()
+	r.span.End()
 	return nil
 }
 
@@ -319,6 +324,8 @@ func (r *Receiver) ingest(i int, epoch uint64, seq uint64, data []byte) {
 		// copy); Read recycles it once consumed.
 		r.delivered = append(r.delivered, d)
 		r.deliveredBytes += len(d)
+		r.span.MarkFirstByte()
+		r.span.AddBytes(int64(len(d)))
 		r.expected++
 		r.sinceAck++
 		advanced = true

@@ -1,0 +1,53 @@
+package multipath
+
+import (
+	"testing"
+
+	"cronets/internal/flowtrace"
+)
+
+// TestChannelSpans: a traced channel records multipath.send and
+// multipath.recv spans parented under the configured context, with byte
+// counts matching the transferred payload.
+func TestChannelSpans(t *testing.T) {
+	tracer := flowtrace.New(flowtrace.Config{Node: "mp", SampleRate: 1, Seed: 21})
+	parent := tracer.Start("flow", flowtrace.Context{})
+
+	s, r := pipes(2)
+	payload := randomPayload(7, 96<<10)
+	cfg := Config{Tracer: tracer, TraceCtx: parent.Context()}
+	got := transfer(t, s, r, payload, cfg)
+	if len(got) != len(payload) {
+		t.Fatalf("transferred %d bytes, want %d", len(got), len(payload))
+	}
+	parent.End()
+
+	byName := make(map[string]*flowtrace.Span)
+	for _, span := range tracer.Snapshot() {
+		byName[span.Name] = span
+	}
+	for _, name := range []string{"multipath.send", "multipath.recv"} {
+		span, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %s span recorded", name)
+		}
+		if span.Trace != parent.Trace || span.Parent != parent.ID {
+			t.Errorf("%s parented %x on trace %s, want %x on %s",
+				name, span.Parent, span.Trace, parent.ID, parent.Trace)
+		}
+		if span.Bytes() != int64(len(payload)) {
+			t.Errorf("%s bytes = %d, want %d", name, span.Bytes(), len(payload))
+		}
+		if _, ok := span.FirstByte(); !ok {
+			t.Errorf("%s has no first-byte mark", name)
+		}
+	}
+
+	// Untraced channels stay untraced: no tracer, no spans.
+	s2, r2 := pipes(1)
+	before := len(tracer.Snapshot())
+	_ = transfer(t, s2, r2, payload[:1024], Config{})
+	if got := len(tracer.Snapshot()); got != before {
+		t.Errorf("untraced transfer added %d spans", got-before)
+	}
+}

@@ -7,6 +7,7 @@
 package netem
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pipe"
 )
@@ -47,6 +49,12 @@ type Config struct {
 	// Obs receives shaping metrics and fault events (nil disables
 	// instrumentation).
 	Obs *obs.Registry
+	// Tracer records a netem.shape span per connection whose first
+	// upstream bytes carry a relay CONNECT preamble with a sampled trace
+	// context — the shaper is a transparent middlebox, so it sniffs the
+	// passing handshake instead of being handed a context. Nil disables
+	// tracing; untraced connections cost one prefix check.
+	Tracer *flowtrace.Tracer
 }
 
 // Proxy is a shaping TCP proxy with a fixed target.
@@ -246,15 +254,65 @@ func (p *Proxy) handle(idx int64, down net.Conn) {
 	// its own copy loop. Each direction keeps its own shaper state.
 	upShape := &shaper{p: p, isUp: true, shaped: p.shapedUp, rules: upRules}
 	downShape := &shaper{p: p, isUp: false, shaped: p.shapedDown, rules: downRules}
-	_, _ = pipe.Bidirectional(context.Background(), down, up, pipe.Options{
+	var sniff traceSniff
+	res, _ := pipe.Bidirectional(context.Background(), down, up, pipe.Options{
 		BufferBytes: p.cfg.ChunkBytes,
 		Hook: func(dir pipe.Dir, chunk []byte, write pipe.WriteFunc) error {
 			if dir == pipe.AToB {
+				sniff.onUpChunk(p.cfg.Tracer, chunk)
 				return upShape.shape(chunk, write)
 			}
+			sniff.span.MarkFirstByte()
 			return downShape.shape(chunk, write)
 		},
 	})
+	sniff.span.AddBytes(res.AToB + res.BToA)
+	sniff.span.End()
+}
+
+// traceSniff extracts a trace context from the first upstream chunk of a
+// shaped connection, if it opens with a relay CONNECT preamble carrying
+// one. The shaper is a transparent middlebox: it joins traces it can see
+// on the wire and stays silent otherwise.
+type traceSniff struct {
+	tried bool
+	span  *flowtrace.Span
+}
+
+// connectPrefix is the relay handshake verb a sniffable preamble opens
+// with; traceToken introduces the trace context on that line.
+var (
+	connectPrefix = []byte("CONNECT ")
+	traceToken    = []byte(" TP=")
+)
+
+// onUpChunk inspects the first client->target chunk only; every later
+// chunk costs a single boolean check. It allocates nothing unless a
+// sampled context is found.
+func (s *traceSniff) onUpChunk(tracer *flowtrace.Tracer, chunk []byte) {
+	if s.tried {
+		return
+	}
+	s.tried = true
+	if tracer == nil || !bytes.HasPrefix(chunk, connectPrefix) {
+		return
+	}
+	nl := bytes.IndexByte(chunk, '\n')
+	if nl < 0 {
+		return
+	}
+	line := chunk[:nl]
+	i := bytes.Index(line, traceToken)
+	if i < 0 {
+		return
+	}
+	tok := bytes.TrimSpace(line[i+len(traceToken):])
+	tc, ok := flowtrace.DecodeTextBytes(tok)
+	if !ok {
+		return
+	}
+	s.span = tracer.Continue("netem.shape", tc)
+	s.span.SetDetail(string(line[len(connectPrefix):i]))
 }
 
 // errBlackholed aborts a parked direction once the proxy shuts down.

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"log/slog"
 	"sync"
 	"time"
@@ -49,6 +51,9 @@ const (
 	// EventImpairmentChange is a netem proxy's shaping being swapped at
 	// runtime (SetImpairment).
 	EventImpairmentChange
+	// EventFlowTrace is a sampled flow's trace completing (root span
+	// ended); detail carries the trace ID, duration, and byte count.
+	EventFlowTrace
 )
 
 // String returns the event type's wire name.
@@ -84,14 +89,42 @@ func (t EventType) String() string {
 		return "fallback"
 	case EventImpairmentChange:
 		return "impairment-change"
+	case EventFlowTrace:
+		return "flow-trace"
 	default:
 		return "unknown"
 	}
 }
 
+// ParseEventType resolves a wire name back to its EventType (for the
+// /debug/events ?type= filter). ok is false for unknown names.
+func ParseEventType(name string) (EventType, bool) {
+	for t := EventConnect; t <= EventFlowTrace; t++ {
+		if t.String() == name {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
 // MarshalJSON encodes the type as its string name.
 func (t EventType) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a wire name back to its EventType, so clients of
+// /debug/events can round-trip the JSON.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	parsed, ok := ParseEventType(name)
+	if !ok {
+		return fmt.Errorf("obs: unknown event type %q", name)
+	}
+	*t = parsed
+	return nil
 }
 
 // Event is one entry in the flow-event ring.

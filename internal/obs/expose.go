@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // WriteMetrics writes every registered metric in Prometheus text
@@ -157,36 +158,85 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// GETOnly wraps an observability handler so that non-GET/HEAD methods
+// get 405 and every response carries Cache-Control: no-store — debug and
+// metrics surfaces are live views that must never be cached or written
+// to.
+func GETOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Cache-Control", "no-store")
+		h.ServeHTTP(w, req)
+	})
+}
+
 // MetricsHandler serves the Prometheus text exposition.
 func (r *Registry) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return GETOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteMetrics(w)
-	})
+	}))
 }
 
 // JSONHandler serves the metric snapshot as a JSON object.
 func (r *Registry) JSONHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return GETOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
-	})
+	}))
 }
 
-// EventsHandler serves the flow-event ring as a JSON array, oldest first.
+// EventsHandler serves the flow-event ring as a JSON array, oldest
+// first. Query parameters: ?type=<event name> keeps one event type
+// (unknown names are 400), and ?since= keeps events after a bound given
+// either as an RFC 3339 timestamp or as a Go duration meaning "the last
+// D" — so a single path switch can be tailed without client-side
+// filtering.
 func (r *Registry) EventsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		events := r.Events().Snapshot()
-		if events == nil {
-			events = []Event{}
+	return GETOnly(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var wantType EventType
+		if name := q.Get("type"); name != "" {
+			t, ok := ParseEventType(name)
+			if !ok {
+				http.Error(w, "unknown event type "+strconv.Quote(name), http.StatusBadRequest)
+				return
+			}
+			wantType = t
 		}
+		var since time.Time
+		if v := q.Get("since"); v != "" {
+			if ts, err := time.Parse(time.RFC3339Nano, v); err == nil {
+				since = ts
+			} else if d, derr := time.ParseDuration(v); derr == nil && d >= 0 {
+				since = time.Now().Add(-d)
+			} else {
+				http.Error(w, "bad since: want RFC 3339 timestamp or duration", http.StatusBadRequest)
+				return
+			}
+		}
+		events := r.Events().Snapshot()
+		filtered := make([]Event, 0, len(events))
+		for _, e := range events {
+			if wantType != 0 && e.Type != wantType {
+				continue
+			}
+			if !since.IsZero() && !e.Time.After(since) {
+				continue
+			}
+			filtered = append(filtered, e)
+		}
+		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(events)
-	})
+		_ = enc.Encode(filtered)
+	}))
 }
 
 // expvarMu guards against double-publishing (expvar.Publish panics on a

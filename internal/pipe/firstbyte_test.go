@@ -1,0 +1,51 @@
+package pipe
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOnFirstByte: the callback fires exactly once per direction, before
+// the stream finishes, and repeated chunks don't re-trigger it.
+func TestOnFirstByte(t *testing.T) {
+	echo := echoAccept(t)
+	var firstUp, firstDown atomic.Int64
+	opts := Options{
+		BufferBytes: 1 << 10,
+		OnFirstByte: func(dir Dir) {
+			if dir == AToB {
+				firstUp.Add(1)
+			} else {
+				firstDown.Add(1)
+			}
+		},
+	}
+	payload := bytes.Repeat([]byte("first-byte"), 2048)
+	addr, done, errc := startSplice(t, echo.Addr().String(), opts)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go func() {
+		_, _ = conn.Write(payload)
+		_ = conn.(*net.TCPConn).CloseWrite()
+	}()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stream corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+	<-done
+	if err := <-errc; err != nil {
+		t.Fatalf("Bidirectional: %v", err)
+	}
+	if firstUp.Load() != 1 || firstDown.Load() != 1 {
+		t.Errorf("OnFirstByte fired up=%d down=%d times, want 1 each", firstUp.Load(), firstDown.Load())
+	}
+}

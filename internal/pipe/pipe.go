@@ -59,6 +59,11 @@ type Options struct {
 	CountAToB, CountBToA *atomic.Int64
 	// Hook, if set, intercepts every chunk (see Hook).
 	Hook Hook
+	// OnFirstByte, if set, is called once per direction when its first
+	// chunk arrives, before the chunk is delivered — the hook point for
+	// first-byte-latency (TTFB) measurement. Nil costs the splice loop
+	// nothing.
+	OnFirstByte func(dir Dir)
 }
 
 // Result reports what a finished Bidirectional moved.
@@ -185,10 +190,15 @@ func copyHalf(dst, src net.Conn, dir Dir, opts *Options, idle *idleWatch) (int64
 		}
 		return err
 	}
+	awaitingFirst := opts.OnFirstByte != nil
 	for {
 		rn, rerr := src.Read(buf)
 		if rn > 0 {
 			idle.touch()
+			if awaitingFirst {
+				awaitingFirst = false
+				opts.OnFirstByte(dir)
+			}
 			var werr error
 			if opts.Hook != nil {
 				werr = opts.Hook(dir, buf[:rn], write)

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pipe"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	// Obs receives the relay's metrics and flow events (nil disables
 	// instrumentation at zero cost).
 	Obs *obs.Registry
+	// Tracer records relay dial + splice spans for flows whose CONNECT
+	// preamble carries a sampled trace context (nil disables tracing at
+	// zero cost; unsampled flows cost one nil check).
+	Tracer *flowtrace.Tracer
 }
 
 // Stats are cumulative relay counters, safe to read concurrently.
@@ -261,9 +266,10 @@ func (r *Relay) handle(down net.Conn) error {
 	defer r.stats.Active.Add(-1)
 
 	target := r.cfg.Target
+	var tc flowtrace.Context
 	var br *bufio.Reader
 	if target == "" {
-		// CONNECT handshake: "CONNECT host:port\n" -> "OK\n".
+		// CONNECT handshake: "CONNECT host:port [TP=<ctx>]\n" -> "OK\n".
 		br = bufio.NewReader(down)
 		_ = down.SetReadDeadline(time.Now().Add(r.cfg.DialTimeout))
 		line, err := br.ReadString('\n')
@@ -271,7 +277,7 @@ func (r *Relay) handle(down net.Conn) error {
 			return fmt.Errorf("relay: read connect line: %w", err)
 		}
 		_ = down.SetReadDeadline(time.Time{})
-		t, err := ParseConnect(line)
+		t, lineCtx, err := ParseConnectTrace(line)
 		if err != nil {
 			_, _ = io.WriteString(down, "ERR bad request\n")
 			return err
@@ -282,17 +288,23 @@ func (r *Relay) handle(down net.Conn) error {
 			return fmt.Errorf("relay: ACL forbids %s: %w", t, errACLRejected)
 		}
 		target = t
+		tc = lineCtx
 		r.scope.Event(obs.EventConnect, t)
 	}
 
+	dialSpan := r.cfg.Tracer.Continue("relay.dial", tc)
 	up, err := r.dialUpstream(target)
 	if err != nil {
+		dialSpan.SetDetail("fail " + target)
+		dialSpan.End()
 		if br != nil {
 			_, _ = io.WriteString(down, "ERR dial failed\n")
 		}
 		r.scope.Event(obs.EventDial, "fail "+target)
 		return fmt.Errorf("relay: dial %s: %w", target, err)
 	}
+	dialSpan.SetDetail(target)
+	dialSpan.End()
 	r.scope.Event(obs.EventDial, "ok "+target)
 	defer up.Close()
 	r.track(up)
@@ -308,7 +320,7 @@ func (r *Relay) handle(down net.Conn) error {
 	if br != nil && br.Buffered() > 0 {
 		downReader = io.MultiReader(io.LimitReader(br, int64(br.Buffered())), down)
 	}
-	return r.splice(down, downReader, up)
+	return r.splice(down, downReader, up, tc)
 }
 
 // dialUpstream dials the target, retrying transient failures (refused,
@@ -351,14 +363,16 @@ func transientDialError(err error) bool {
 
 // splice runs the shared data-plane loop over the connection pair: pooled
 // buffers, live byte counters, TCP half-close propagation, and the idle
-// timeout, all from internal/pipe.
-func (r *Relay) splice(down net.Conn, downReader io.Reader, up net.Conn) error {
+// timeout, all from internal/pipe. For sampled flows it records a
+// relay.splice span (bytes, first-byte latency); unsampled flows leave
+// the loop's options exactly as before.
+func (r *Relay) splice(down net.Conn, downReader io.Reader, up net.Conn, tc flowtrace.Context) error {
 	a := down
 	if downReader != io.Reader(down) {
 		// Replay handshake bytes the CONNECT reader over-read.
 		a = pipe.WithReader(down, downReader)
 	}
-	_, err := pipe.Bidirectional(context.Background(), a, up, pipe.Options{
+	opts := pipe.Options{
 		BufferBytes: r.cfg.BufferBytes,
 		IdleTimeout: r.cfg.IdleTimeout,
 		OnIdle: func() {
@@ -366,27 +380,64 @@ func (r *Relay) splice(down net.Conn, downReader io.Reader, up net.Conn) error {
 		},
 		CountAToB: &r.stats.BytesUp,
 		CountBToA: &r.stats.BytesDown,
-	})
+	}
+	span := r.cfg.Tracer.Continue("relay.splice", tc)
+	if span != nil {
+		// TTFB at the relay: the first byte coming back from the
+		// upstream toward the client.
+		opts.OnFirstByte = func(dir pipe.Dir) {
+			if dir == pipe.BToA {
+				span.MarkFirstByte()
+			}
+		}
+	}
+	res, err := pipe.Bidirectional(context.Background(), a, up, opts)
+	span.AddBytes(res.AToB + res.BToA)
+	span.End()
 	return err
 }
 
-// ParseConnect parses a "CONNECT host:port" request line.
+// ParseConnect parses a "CONNECT host:port" request line, tolerating
+// (and discarding) a trailing trace-context token.
 func ParseConnect(line string) (string, error) {
+	target, _, err := ParseConnectTrace(line)
+	return target, err
+}
+
+// tracePrefix introduces the optional trace-context token on a CONNECT
+// line: "CONNECT host:port TP=<48 hex chars>".
+const tracePrefix = "TP="
+
+// ParseConnectTrace parses a "CONNECT host:port [TP=<ctx>]" request
+// line, returning the target and the propagated trace context (zero when
+// absent or malformed — a bad trace token never fails the handshake,
+// tracing is best-effort).
+func ParseConnectTrace(line string) (string, flowtrace.Context, error) {
 	line = strings.TrimSpace(line)
 	const prefix = "CONNECT "
 	if !strings.HasPrefix(line, prefix) {
-		return "", fmt.Errorf("relay: malformed request %q", line)
+		return "", flowtrace.Context{}, fmt.Errorf("relay: malformed request %q", line)
 	}
-	target := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	rest := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	target := rest
+	var tc flowtrace.Context
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		target = rest[:i]
+		if tok := strings.TrimSpace(rest[i+1:]); strings.HasPrefix(tok, tracePrefix) {
+			tc, _ = flowtrace.DecodeText(strings.TrimPrefix(tok, tracePrefix))
+		}
+	}
 	host, port, err := net.SplitHostPort(target)
 	if err != nil || host == "" || port == "" {
-		return "", fmt.Errorf("relay: bad target %q", target)
+		return "", flowtrace.Context{}, fmt.Errorf("relay: bad target %q", target)
 	}
-	return target, nil
+	return target, tc, nil
 }
 
 // DialVia connects to target through a CONNECT-mode relay and completes
-// the handshake, returning the relayed connection.
+// the handshake, returning the relayed connection. If ctx carries a
+// sampled trace context (flowtrace.NewGoContext), it is propagated to
+// the relay in the CONNECT preamble so the relay's spans join the trace.
 func DialVia(ctx context.Context, d Dialer, relayAddr, target string) (net.Conn, error) {
 	if d == nil {
 		d = &net.Dialer{}
@@ -395,7 +446,12 @@ func DialVia(ctx context.Context, d Dialer, relayAddr, target string) (net.Conn,
 	if err != nil {
 		return nil, fmt.Errorf("relay: dial relay %s: %w", relayAddr, err)
 	}
-	if _, err := fmt.Fprintf(conn, "CONNECT %s\n", target); err != nil {
+	if tc := flowtrace.FromGoContext(ctx); tc.Sampled {
+		_, err = fmt.Fprintf(conn, "CONNECT %s %s%s\n", target, tracePrefix, tc.EncodeText())
+	} else {
+		_, err = fmt.Fprintf(conn, "CONNECT %s\n", target)
+	}
+	if err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("relay: send connect: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pipe"
 )
@@ -33,6 +34,13 @@ func NewEndpoint(rw io.ReadWriter) *Endpoint {
 // Send encapsulates and writes one packet. The marshal buffer comes from
 // the data-plane pool, so a steady packet stream allocates nothing.
 func (e *Endpoint) Send(p Packet) error {
+	return e.SendCtx(p, flowtrace.Context{})
+}
+
+// SendCtx encapsulates and writes one packet whose frame header carries
+// a trace context, so the far endpoint can parent its spans under the
+// sending flow. An unsampled context sends a plain frame.
+func (e *Endpoint) SendCtx(p Packet, tc flowtrace.Context) error {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -48,18 +56,26 @@ func (e *Endpoint) Send(p Packet) error {
 		pipe.Put(buf)
 		return err
 	}
-	err = e.f.WriteFrame(buf[:n])
+	err = e.f.WriteFrameCtx(buf[:n], tc)
 	pipe.Put(buf)
 	return err
 }
 
 // Recv reads and decapsulates one packet, blocking until one arrives.
 func (e *Endpoint) Recv() (Packet, error) {
-	buf, err := e.f.ReadFrame()
+	p, _, err := e.RecvCtx()
+	return p, err
+}
+
+// RecvCtx reads one packet plus the trace context carried in its frame
+// header (the zero Context for untraced frames).
+func (e *Endpoint) RecvCtx() (Packet, flowtrace.Context, error) {
+	buf, tc, err := e.f.ReadFrameCtx()
 	if err != nil {
-		return Packet{}, err
+		return Packet{}, flowtrace.Context{}, err
 	}
-	return UnmarshalPacket(buf)
+	p, err := UnmarshalPacket(buf)
+	return p, tc, err
 }
 
 // Close marks the endpoint closed and closes the underlying stream if it

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sync"
 
+	"cronets/internal/flowtrace"
 	"cronets/internal/pipe"
 )
 
@@ -26,6 +27,13 @@ var (
 	ErrClosed = errors.New("tunnel: endpoint closed")
 )
 
+// traceFlag is bit 31 of the frame length word. Frame bodies are capped
+// at MaxFrameSize (~64 KiB), leaving the high bits of the 32-bit length
+// free; when the flag is set, a 24-byte flowtrace context sits between
+// the length word and the body. Untraced frames are byte-identical to
+// the pre-tracing wire format.
+const traceFlag = uint32(1) << 31
+
 // Framer reads and writes length-prefixed frames over a byte stream. It is
 // safe for one concurrent reader and one concurrent writer.
 type Framer struct {
@@ -34,6 +42,7 @@ type Framer struct {
 	rw  io.ReadWriter
 
 	rbuf [4]byte
+	cbuf [flowtrace.WireSize]byte
 }
 
 // NewFramer wraps the stream.
@@ -45,14 +54,31 @@ func NewFramer(rw io.ReadWriter) *Framer {
 // a single pooled write so a frame costs one syscall on a net.Conn and
 // cannot interleave with another writer's header/body pair.
 func (f *Framer) WriteFrame(p []byte) error {
+	return f.WriteFrameCtx(p, flowtrace.Context{})
+}
+
+// WriteFrameCtx writes one frame carrying a trace context in its header,
+// so the far tunnel endpoint can continue the flow's trace. An unsampled
+// (or zero) context writes a plain frame.
+func (f *Framer) WriteFrameCtx(p []byte, tc flowtrace.Context) error {
 	if len(p) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
+	traced := tc.Sampled && !tc.IsZero()
+	head := 4
+	if traced {
+		head += flowtrace.WireSize
+	}
 	f.wmu.Lock()
 	defer f.wmu.Unlock()
-	buf := pipe.Get(4 + len(p))
-	binary.BigEndian.PutUint32(buf[:4], uint32(len(p)))
-	copy(buf[4:], p)
+	buf := pipe.Get(head + len(p))
+	word := uint32(len(p))
+	if traced {
+		word |= traceFlag
+		tc.EncodeBinary(buf[4:head])
+	}
+	binary.BigEndian.PutUint32(buf[:4], word)
+	copy(buf[head:], p)
 	_, err := f.rw.Write(buf)
 	pipe.Put(buf)
 	if err != nil {
@@ -61,20 +87,39 @@ func (f *Framer) WriteFrame(p []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame into a freshly allocated buffer.
+// ReadFrame reads one frame into a freshly allocated buffer, discarding
+// any trace context in its header.
 func (f *Framer) ReadFrame() ([]byte, error) {
+	buf, _, err := f.ReadFrameCtx()
+	return buf, err
+}
+
+// ReadFrameCtx reads one frame plus the trace context carried in its
+// header (the zero Context for untraced frames).
+func (f *Framer) ReadFrameCtx() ([]byte, flowtrace.Context, error) {
 	f.rmu.Lock()
 	defer f.rmu.Unlock()
 	if _, err := io.ReadFull(f.rw, f.rbuf[:]); err != nil {
-		return nil, fmt.Errorf("tunnel: read frame header: %w", err)
+		return nil, flowtrace.Context{}, fmt.Errorf("tunnel: read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(f.rbuf[:])
-	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+	word := binary.BigEndian.Uint32(f.rbuf[:])
+	traced := word&traceFlag != 0
+	word &^= traceFlag
+	// Validate the length before consuming the trace context so a
+	// corrupted header is rejected without reading further.
+	if word > MaxFrameSize {
+		return nil, flowtrace.Context{}, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	var tc flowtrace.Context
+	if traced {
+		if _, err := io.ReadFull(f.rw, f.cbuf[:]); err != nil {
+			return nil, flowtrace.Context{}, fmt.Errorf("tunnel: read frame trace context: %w", err)
+		}
+		tc, _ = flowtrace.DecodeBinary(f.cbuf[:])
+	}
+	buf := make([]byte, word)
 	if _, err := io.ReadFull(f.rw, buf); err != nil {
-		return nil, fmt.Errorf("tunnel: read frame body: %w", err)
+		return nil, flowtrace.Context{}, fmt.Errorf("tunnel: read frame body: %w", err)
 	}
-	return buf, nil
+	return buf, tc, nil
 }
