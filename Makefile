@@ -7,7 +7,7 @@
 #   make vet          static checks
 #   make fmt          gofmt diff gate (fails if any file needs formatting)
 #   make check        all of the above
-#   make bench        data-plane benchmarks (pipe, relay, multipath)
+#   make bench        data-plane benchmarks (pipe, relay, multipath, gateway dial)
 #   make trace-smoke  flow-tracing gate: the tracing e2e under -race plus
 #                     the unsampled-path zero-allocation check
 
@@ -39,7 +39,7 @@ fmt:
 check: fmt vet test race
 
 bench:
-	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive' -benchmem ./...
+	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive|GatewayDial' -benchmem ./...
 
 # The alloc gate runs without -race (the race runtime adds allocations of
 # its own); the e2e runs with it.

@@ -73,6 +73,9 @@ type options struct {
 	probeTarget   string
 	switchMargin  float64
 	switchRounds  int
+	poolSize      int
+	poolIdleTTL   time.Duration
+	poolRelays    int
 }
 
 func main() {
@@ -94,6 +97,9 @@ func main() {
 	flag.StringVar(&o.probeTarget, "probe-target", "", "destination probe endpoint, a measure server (default: -target)")
 	flag.Float64Var(&o.switchMargin, "switch-margin", 0.1, "fraction a challenger path must beat the incumbent by")
 	flag.IntVar(&o.switchRounds, "switch-rounds", 3, "consecutive qualifying rounds before a path switch")
+	flag.IntVar(&o.poolSize, "pool-size", 0, "pre-warmed relay connections per relay the gateway keeps (0 = pooling off)")
+	flag.DurationVar(&o.poolIdleTTL, "pool-idle-ttl", time.Minute, "retire warm relay connections idle longer than this")
+	flag.IntVar(&o.poolRelays, "pool-relays", 2, "number of top-ranked relays the gateway keeps warm")
 	flag.Parse()
 
 	var err error
@@ -229,6 +235,9 @@ func runGateway(o options) error {
 		BufferBytes: o.bufKB << 10,
 		Obs:         reg,
 		Tracer:      tracer,
+		PoolSize:    o.poolSize,
+		PoolIdleTTL: o.poolIdleTTL,
+		PoolRelays:  o.poolRelays,
 	})
 	if err != nil {
 		return err
@@ -315,7 +324,8 @@ func logGatewayStats(gw *gateway.Gateway, mon *pathmon.Monitor, msg string) {
 		"accepted", st.Accepted.Load(),
 		"active", st.Active.Load(),
 		"dials_direct", st.DialsDirect.Load(),
-		"dials_relay", st.DialsRelay.Load(),
+		"dials_relay_pooled", st.DialsRelayPooled.Load(),
+		"dials_relay_cold", st.DialsRelayCold.Load(),
 		"fallbacks", st.Fallbacks.Load(),
 		"dial_failures", st.DialFailures.Load(),
 		"bytes_up", st.BytesUp.Load(),

@@ -1,0 +1,332 @@
+package connpool
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cronets/internal/obs"
+	"cronets/internal/pathmon"
+)
+
+// acceptServer accepts and holds connections like a CONNECT-mode relay
+// waiting for a preamble, exposing them so tests can kill the relay side.
+type acceptServer struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newAcceptServer(t *testing.T) *acceptServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &acceptServer{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		s.mu.Lock()
+		for _, c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+	})
+	return s
+}
+
+func (s *acceptServer) addr() string { return s.ln.Addr().String() }
+
+// closeAll closes every accepted connection — the relay restarting out
+// from under its warm legs.
+func (s *acceptServer) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = nil
+}
+
+// fakeRanker is a mutable synthetic control-plane view.
+type fakeRanker struct {
+	mu     sync.Mutex
+	best   pathmon.Path
+	chosen bool
+	table  []pathmon.PathStatus
+	subs   []chan struct{}
+}
+
+func (f *fakeRanker) Best() (pathmon.Path, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.best, f.chosen
+}
+
+func (f *fakeRanker) Ranked() []pathmon.PathStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]pathmon.PathStatus(nil), f.table...)
+}
+
+func (f *fakeRanker) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	f.mu.Lock()
+	f.subs = append(f.subs, ch)
+	f.mu.Unlock()
+	return ch, func() {}
+}
+
+// set swaps the ranking and wakes subscribers, like integrate does.
+func (f *fakeRanker) set(best pathmon.Path, chosen bool, table []pathmon.PathStatus) {
+	f.mu.Lock()
+	f.best, f.chosen, f.table = best, chosen, table
+	subs := append([]chan struct{}(nil), f.subs...)
+	f.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func relayStatus(addr string, down bool) pathmon.PathStatus {
+	return pathmon.PathStatus{Path: pathmon.Path{Relay: addr}, Down: down}
+}
+
+// waitIdle polls until relayAddr has exactly want warm connections.
+func waitIdle(t *testing.T, p *Pool, relayAddr string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Idle(relayAddr) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("idle(%s) = %d, want %d", relayAddr, p.Idle(relayAddr), want)
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name, "").Value()
+}
+
+func TestStaticWarmAndCheckout(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: 2, Obs: reg})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), 2)
+
+	conn, ok := p.Get(srv.addr())
+	if !ok {
+		t.Fatal("checkout missed on a warmed pool")
+	}
+	defer conn.Close()
+	if got := counter(reg, "cronets_connpool_hits_total"); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	// The checkout kicked the filler: the pool re-warms to target.
+	waitIdle(t, p, srv.addr(), 2)
+}
+
+func TestMissOnEmptyPool(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{Relays: []string{"127.0.0.1:1"}, Obs: reg,
+		FillInterval: time.Hour, DialTimeout: 100 * time.Millisecond})
+	defer p.Close()
+
+	if _, ok := p.Get("127.0.0.1:9"); ok {
+		t.Fatal("checkout hit on a relay the pool never warmed")
+	}
+	if got := counter(reg, "cronets_connpool_misses_total"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	// The dead static relay's failed warm dials are counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(reg, "cronets_connpool_fill_errors_total") == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if counter(reg, "cronets_connpool_fill_errors_total") == 0 {
+		t.Error("no fill_errors recorded for an unreachable relay")
+	}
+}
+
+func TestExpiryRetiresOldConns(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: 1,
+		IdleTTL: 50 * time.Millisecond, FillInterval: 10 * time.Millisecond, Obs: reg})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), 1)
+
+	// The filler must rotate conns out at TTL and replace them.
+	deadline := time.Now().Add(5 * time.Second)
+	for counter(reg, "cronets_connpool_expired_total") == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if counter(reg, "cronets_connpool_expired_total") == 0 {
+		t.Fatal("no conns expired past IdleTTL")
+	}
+	waitIdle(t, p, srv.addr(), 1)
+}
+
+func TestExpiryAtCheckout(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+	// FillInterval huge: only Get's own TTL check can retire the conn.
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: 1,
+		IdleTTL: 30 * time.Millisecond, FillInterval: time.Hour, Obs: reg})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), 1)
+
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := p.Get(srv.addr()); ok {
+		t.Fatal("checkout handed out a conn past its IdleTTL")
+	}
+	if got := counter(reg, "cronets_connpool_expired_total"); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+}
+
+func TestDeadConnDetectedAtCheckout(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: 2,
+		FillInterval: time.Hour, Obs: reg})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), 2)
+
+	// Relay restarts: every warm leg is dead, but the FINs are still in
+	// flight from the pool's point of view.
+	srv.closeAll()
+	time.Sleep(20 * time.Millisecond)
+
+	if _, ok := p.Get(srv.addr()); ok {
+		t.Fatal("checkout handed out a dead connection")
+	}
+	if got := counter(reg, "cronets_connpool_expired_total"); got != 2 {
+		t.Errorf("expired = %d, want 2 (both dead conns retired)", got)
+	}
+	if got := counter(reg, "cronets_connpool_hits_total"); got != 0 {
+		t.Errorf("hits = %d, want 0", got)
+	}
+}
+
+func TestRankingDrivenResize(t *testing.T) {
+	srvA := newAcceptServer(t)
+	srvB := newAcceptServer(t)
+	rk := &fakeRanker{}
+	rk.set(pathmon.Path{Relay: srvA.addr()}, true, []pathmon.PathStatus{
+		relayStatus(srvA.addr(), false),
+		relayStatus(srvB.addr(), false),
+	})
+	p := New(Config{Ranker: rk, SizePerRelay: 2, TopK: 1,
+		FillInterval: time.Hour})
+	defer p.Close()
+
+	// Only the top-1 relay (A) is warmed.
+	waitIdle(t, p, srvA.addr(), 2)
+	waitIdle(t, p, srvB.addr(), 0)
+
+	// The ranking flips: B leads, A demoted out of the top-K. The
+	// subscription wakes the filler — A's idle conns drain, B warms.
+	rk.set(pathmon.Path{Relay: srvB.addr()}, true, []pathmon.PathStatus{
+		relayStatus(srvB.addr(), false),
+		relayStatus(srvA.addr(), false),
+	})
+	waitIdle(t, p, srvB.addr(), 2)
+	waitIdle(t, p, srvA.addr(), 0)
+}
+
+func TestBestPathAlwaysWarmedEvenIfDownRanked(t *testing.T) {
+	srv := newAcceptServer(t)
+	rk := &fakeRanker{}
+	// Pinned best relay that the ranking calls Down (no probe samples
+	// yet): the pool still warms it — traffic is about to use it.
+	rk.set(pathmon.Path{Relay: srv.addr()}, true, []pathmon.PathStatus{
+		relayStatus(srv.addr(), true),
+	})
+	p := New(Config{Ranker: rk, SizePerRelay: 1, FillInterval: time.Hour})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), 1)
+}
+
+func TestConcurrentCheckout(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+	const size = 8
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: size,
+		FillInterval: time.Hour, Obs: reg})
+	defer p.Close()
+	waitIdle(t, p, srv.addr(), size)
+
+	// 4x more checkouts than warm conns, all at once: every warm conn is
+	// handed out exactly once (no double-checkout), the rest miss.
+	var wg sync.WaitGroup
+	var hits, misses int64
+	var mu sync.Mutex
+	conns := make([]net.Conn, 0, size)
+	for i := 0; i < 4*size; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, ok := p.Get(srv.addr())
+			mu.Lock()
+			defer mu.Unlock()
+			if ok {
+				hits++
+				conns = append(conns, conn)
+			} else {
+				misses++
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	if hits != size {
+		t.Errorf("hits = %d, want %d", hits, size)
+	}
+	if misses != 3*size {
+		t.Errorf("misses = %d, want %d", misses, 3*size)
+	}
+	if got := counter(reg, "cronets_connpool_hits_total"); got != size {
+		t.Errorf("hits counter = %d, want %d", got, size)
+	}
+}
+
+func TestCloseRetiresEverything(t *testing.T) {
+	srv := newAcceptServer(t)
+	p := New(Config{Relays: []string{srv.addr()}, SizePerRelay: 3,
+		FillInterval: time.Hour})
+	waitIdle(t, p, srv.addr(), 3)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TotalIdle(); got != 0 {
+		t.Errorf("TotalIdle = %d after Close, want 0", got)
+	}
+	if _, ok := p.Get(srv.addr()); ok {
+		t.Error("checkout succeeded on a closed pool")
+	}
+	// Idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

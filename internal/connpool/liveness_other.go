@@ -1,0 +1,8 @@
+//go:build !unix
+
+package connpool
+
+import "net"
+
+// rawAlive is unavailable off-Unix; the deadline probe handles liveness.
+func rawAlive(net.Conn) (alive, checked bool) { return false, false }

@@ -1,0 +1,41 @@
+//go:build unix
+
+package connpool
+
+import (
+	"net"
+	"syscall"
+)
+
+// rawAlive liveness-checks a socket with a non-blocking MSG_PEEK: a
+// pending FIN (recv returns 0), a pending error (RST), or a readable
+// byte all mean the warm leg is unusable; EAGAIN means the socket is
+// quiet and healthy. checked is false when the conn does not expose a
+// raw descriptor (wrapped conns in tests) — the caller falls back to the
+// deadline probe.
+func rawAlive(c net.Conn) (alive, checked bool) {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return false, false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false, false
+	}
+	if err := rc.Read(func(fd uintptr) bool {
+		var b [1]byte
+		n, _, errno := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK:
+			alive = true
+		case errno == nil && n > 0:
+			alive = false // relay spoke before CONNECT: poisoned
+		default:
+			alive = false // EOF (n==0) or a hard error
+		}
+		return true // never park: this probe must not block
+	}); err != nil {
+		return false, true
+	}
+	return alive, true
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cronets/internal/connpool"
 	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
@@ -44,8 +45,26 @@ type Config struct {
 	// mode (default pipe.DefaultBufferBytes).
 	BufferBytes int
 	// MaxAttempts caps how many ranked paths one Dial tries before
-	// giving up (default 3).
+	// giving up (default 3). The direct path always stays inside the
+	// cap as the guaranteed last resort.
 	MaxAttempts int
+	// PoolSize enables the warm relay-connection pool when > 0: each
+	// warmed relay keeps PoolSize pre-established TCP connections, and
+	// relay dials send the CONNECT preamble on a pooled socket —
+	// collapsing overlay connection setup from two round trips to one.
+	// 0 disables the pool; every relay dial is cold and wire behaviour
+	// is unchanged. The pool needs a Monitor (relays come from its
+	// ranking).
+	PoolSize int
+	// PoolIdleTTL bounds the idle age of a pooled connection (default
+	// 60 s — keep it under the relay fleet's pre-CONNECT IdleTimeout).
+	PoolIdleTTL time.Duration
+	// PoolRelays is how many top-ranked relays the pool keeps warm
+	// (default 2); the committed best path is always warmed.
+	PoolRelays int
+	// PoolFillInterval overrides the pool's background re-warm cadence
+	// (default 1 s; tests and benchmarks shorten it).
+	PoolFillInterval time.Duration
 	// Dialer overrides the underlying dialer (tests).
 	Dialer relay.Dialer
 	// Obs receives gateway metrics and flow events (nil disables
@@ -64,14 +83,21 @@ type Stats struct {
 	Accepted atomic.Int64
 	// Active is the number of flows currently being piped.
 	Active atomic.Int64
-	// DialsDirect and DialsRelay count successful path dials by kind.
+	// DialsDirect counts successful direct-path dials.
 	DialsDirect atomic.Int64
-	DialsRelay  atomic.Int64
+	// DialsRelayPooled and DialsRelayCold split successful relay dials
+	// by whether the connection came from the warm pool or a cold TCP
+	// dial (their sum is the total relay dial count).
+	DialsRelayPooled atomic.Int64
+	DialsRelayCold   atomic.Int64
 	// Fallbacks counts dials that succeeded only on a non-first-choice
 	// path.
 	Fallbacks atomic.Int64
 	// DialFailures counts Dial calls that exhausted every candidate.
 	DialFailures atomic.Int64
+	// AcceptErrors counts transient listener Accept failures survived
+	// with backoff in listener mode.
+	AcceptErrors atomic.Int64
 	// BytesUp and BytesDown count piped bytes in listener mode.
 	BytesUp   atomic.Int64
 	BytesDown atomic.Int64
@@ -84,6 +110,7 @@ type Gateway struct {
 	stats   *Stats
 	scope   *obs.Scope
 	flowDur *obs.Histogram
+	pool    *connpool.Pool // nil when pooling is disabled
 
 	mu     sync.Mutex
 	closed bool
@@ -122,9 +149,25 @@ func New(cfg Config) (*Gateway, error) {
 		stats: &Stats{},
 		conns: make(map[net.Conn]struct{}),
 	}
+	if cfg.PoolSize > 0 && cfg.Monitor != nil {
+		g.pool = connpool.New(connpool.Config{
+			SizePerRelay: cfg.PoolSize,
+			TopK:         cfg.PoolRelays,
+			IdleTTL:      cfg.PoolIdleTTL,
+			FillInterval: cfg.PoolFillInterval,
+			DialTimeout:  cfg.DialTimeout,
+			Ranker:       cfg.Monitor,
+			Dialer:       cfg.Dialer,
+			Obs:          cfg.Obs,
+		})
+	}
 	g.instrument(cfg.Obs)
 	return g, nil
 }
+
+// Pool returns the gateway's warm relay-connection pool, or nil when
+// pooling is disabled.
+func (g *Gateway) Pool() *connpool.Pool { return g.pool }
 
 func (g *Gateway) instrument(reg *obs.Registry) {
 	g.scope = reg.Scope("gateway")
@@ -136,12 +179,16 @@ func (g *Gateway) instrument(reg *obs.Registry) {
 		"Flows currently being piped.", g.stats.Active.Load)
 	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "direct"),
 		"Successful destination dials by path kind.", g.stats.DialsDirect.Load)
-	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "relay"),
-		"Successful destination dials by path kind.", g.stats.DialsRelay.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "relay_pooled"),
+		"Successful destination dials by path kind.", g.stats.DialsRelayPooled.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "relay_cold"),
+		"Successful destination dials by path kind.", g.stats.DialsRelayCold.Load)
 	reg.CounterFunc("cronets_gateway_fallbacks_total",
 		"Dials that succeeded only on a non-first-choice path.", g.stats.Fallbacks.Load)
 	reg.CounterFunc("cronets_gateway_dial_failures_total",
 		"Dials that exhausted every candidate path.", g.stats.DialFailures.Load)
+	reg.CounterFunc("cronets_gateway_accept_errors_total",
+		"Transient listener accept failures survived with backoff.", g.stats.AcceptErrors.Load)
 	reg.CounterFunc(obs.Label("cronets_gateway_bytes_total", "dir", "up"),
 		"Piped bytes by direction (up = client to destination).", g.stats.BytesUp.Load)
 	reg.CounterFunc(obs.Label("cronets_gateway_bytes_total", "dir", "down"),
@@ -197,11 +244,27 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 	}
 	cands := g.candidates()
 	if len(cands) > g.cfg.MaxAttempts {
-		cands = cands[:g.cfg.MaxAttempts]
+		// Truncate to the attempt cap, but never slice off the direct
+		// path: candidates() appends it as the guaranteed last resort,
+		// and with >= MaxAttempts ranked relay paths a plain cut would
+		// silently drop it — a relay-fleet outage would then fail flows
+		// that direct would have served.
+		kept := cands[:g.cfg.MaxAttempts:g.cfg.MaxAttempts]
+		hasDirect := false
+		for _, p := range kept {
+			if p.IsDirect() {
+				hasDirect = true
+				break
+			}
+		}
+		if !hasDirect {
+			kept[len(kept)-1] = pathmon.Direct
+		}
+		cands = kept
 	}
 	var lastErr error
 	for i, p := range cands {
-		conn, err := g.dialPath(ctx, p)
+		conn, pooled, err := g.dialPath(ctx, p)
 		if err != nil {
 			lastErr = err
 			g.scope.Event(obs.EventDial, fmt.Sprintf("fail %s: %v", p, err))
@@ -210,20 +273,24 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 			}
 			continue
 		}
+		detail := p.String()
 		if p.IsDirect() {
 			g.stats.DialsDirect.Add(1)
+		} else if pooled {
+			g.stats.DialsRelayPooled.Add(1)
+			detail += " (pooled)"
 		} else {
-			g.stats.DialsRelay.Add(1)
+			g.stats.DialsRelayCold.Add(1)
 		}
 		if i > 0 {
 			g.stats.Fallbacks.Add(1)
 			g.scope.Event(obs.EventFallback,
 				fmt.Sprintf("%s after %d failed path(s)", p, i))
 		} else {
-			g.scope.Event(obs.EventDial, "ok "+p.String())
+			g.scope.Event(obs.EventDial, "ok "+detail)
 		}
 		if span != nil {
-			span.SetDetail(p.String())
+			span.SetDetail(detail)
 		}
 		return conn, p, nil
 	}
@@ -237,14 +304,31 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 	return nil, pathmon.Path{}, fmt.Errorf("gateway: all %d path(s) failed: %w", len(cands), lastErr)
 }
 
-// dialPath opens one connection over a specific path.
-func (g *Gateway) dialPath(ctx context.Context, p pathmon.Path) (net.Conn, error) {
+// dialPath opens one connection over a specific path. For relay paths it
+// first tries a warm pooled socket — sending the CONNECT preamble on an
+// already-open connection skips the TCP-handshake round trip — and cold
+// dials when the pool misses (or a checked-out socket dies mid
+// handshake), so behaviour degrades to exactly the unpooled path.
+func (g *Gateway) dialPath(ctx context.Context, p pathmon.Path) (conn net.Conn, pooled bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.DialTimeout)
 	defer cancel()
 	if p.IsDirect() {
-		return g.cfg.Dialer.DialContext(ctx, "tcp", g.cfg.DirectAddr)
+		conn, err = g.cfg.Dialer.DialContext(ctx, "tcp", g.cfg.DirectAddr)
+		return conn, false, err
 	}
-	return relay.DialVia(ctx, g.cfg.Dialer, p.Relay, g.cfg.Dest)
+	if g.pool != nil {
+		if warm, ok := g.pool.Get(p.Relay); ok {
+			if conn, err = relay.Connect(ctx, warm, g.cfg.Dest); err == nil {
+				return conn, true, nil
+			}
+			// The warm leg died between health check and handshake:
+			// fall through to a cold dial rather than failing the flow.
+			g.scope.Event(obs.EventDial,
+				fmt.Sprintf("pooled leg to %s died, cold dialing: %v", p.Relay, err))
+		}
+	}
+	conn, err = relay.DialVia(ctx, g.cfg.Dialer, p.Relay, g.cfg.Dest)
+	return conn, false, err
 }
 
 // Serve runs listener mode: every accepted connection is dialed through
@@ -259,6 +343,7 @@ func (g *Gateway) Serve(ln net.Listener) error {
 	}
 	g.ln = ln
 	g.mu.Unlock()
+	var acceptDelay time.Duration
 	for {
 		down, err := ln.Accept()
 		if err != nil {
@@ -268,10 +353,30 @@ func (g *Gateway) Serve(ln net.Listener) error {
 			if closed {
 				return ErrGatewayClosed
 			}
+			// Transient accept failures (ECONNABORTED, EMFILE under
+			// load) must not kill the whole gateway: retry with bounded
+			// exponential backoff, net/http.Server-style.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // the net/http.Server accept-retry idiom
+				g.stats.AcceptErrors.Add(1)
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				g.scope.Logger().Warn("gateway accept failed, retrying",
+					"err", err, "backoff", acceptDelay.String())
+				time.Sleep(acceptDelay)
+				continue
+			}
 			return fmt.Errorf("gateway: accept: %w", err)
 		}
+		acceptDelay = 0
 		g.stats.Accepted.Add(1)
-		g.track(down)
+		if !g.track(down) {
+			// Lost the race with Close: the conn is already closed, and
+			// starting a handler would outlive the Close's wg.Wait.
+			return ErrGatewayClosed
+		}
 		g.wg.Add(1)
 		go func() {
 			defer g.wg.Done()
@@ -291,7 +396,8 @@ func (g *Gateway) Addr() net.Addr {
 	return g.ln.Addr()
 }
 
-// Close stops the listener (if any) and closes live flows.
+// Close stops the listener (if any), closes live flows, and retires the
+// warm connection pool.
 func (g *Gateway) Close() error {
 	g.mu.Lock()
 	if g.closed {
@@ -304,6 +410,9 @@ func (g *Gateway) Close() error {
 		_ = c.Close()
 	}
 	g.mu.Unlock()
+	if g.pool != nil {
+		_ = g.pool.Close()
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -312,10 +421,20 @@ func (g *Gateway) Close() error {
 	return err
 }
 
-func (g *Gateway) track(c net.Conn) {
+// track registers a conn for Close's sweep. A conn that arrives
+// concurrently with Close — after the sweep ran — is closed on the spot
+// and not registered (reported as false): pre-fix it missed the sweep
+// and Close blocked on wg.Wait until the idle timeout reaped the flow.
+func (g *Gateway) track(c net.Conn) bool {
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	if g.closed {
+		g.mu.Unlock()
+		_ = c.Close()
+		return false
+	}
 	g.conns[c] = struct{}{}
+	g.mu.Unlock()
+	return true
 }
 
 func (g *Gateway) untrack(c net.Conn) {
@@ -339,7 +458,12 @@ func (g *Gateway) handle(down net.Conn) {
 		g.scope.Logger().Warn("gateway dial failed", "err", err)
 		return
 	}
-	g.track(up)
+	if !g.track(up) {
+		// The gateway closed while we were dialing: the upstream leg was
+		// closed by track; drop the flow.
+		flow.SetDetail("closed during dial")
+		return
+	}
 	defer g.untrack(up)
 	if flow != nil {
 		flow.SetDetail("via " + path.String())

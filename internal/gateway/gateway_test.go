@@ -16,7 +16,7 @@ import (
 )
 
 // echoServer accepts connections and echoes everything back.
-func echoServer(t *testing.T) net.Addr {
+func echoServer(t testing.TB) net.Addr {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -41,7 +41,7 @@ func echoServer(t *testing.T) net.Addr {
 	return ln.Addr()
 }
 
-func liveRelay(t *testing.T) *relay.Relay {
+func liveRelay(t testing.TB) *relay.Relay {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -283,5 +283,190 @@ func TestIdleTimeoutClosesDeadFlow(t *testing.T) {
 	}
 	if err := <-done; err != ErrGatewayClosed {
 		t.Fatalf("Serve returned %v, want ErrGatewayClosed", err)
+	}
+}
+
+// flakyListener injects n temporary accept errors before delegating to
+// the real listener — EMFILE/ECONNABORTED bursts under load.
+type flakyListener struct {
+	net.Listener
+	remaining int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: transient resource exhaustion" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (f *flakyListener) Accept() (net.Conn, error) {
+	if f.remaining > 0 {
+		f.remaining--
+		return nil, tempErr{}
+	}
+	return f.Listener.Accept()
+}
+
+// TestServeRetriesTemporaryAcceptErrors: transient Accept failures must
+// not kill the gateway — Serve backs off, retries, counts them, and the
+// flow that arrives after the burst is served normally. Pre-fix, the
+// first temporary error returned from Serve and the gateway went dark.
+func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
+	dest := echoServer(t)
+	g, err := New(Config{Dest: dest.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bursts = 3
+	done := make(chan error, 1)
+	go func() { done <- g.Serve(&flakyListener{Listener: ln, remaining: bursts}) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo after accept-error burst = %q, %v", buf, err)
+	}
+	_ = conn.Close()
+
+	if got := g.Stats().AcceptErrors.Load(); got != bursts {
+		t.Errorf("AcceptErrors = %d, want %d", got, bursts)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrGatewayClosed {
+		t.Fatalf("Serve returned %v, want ErrGatewayClosed", err)
+	}
+}
+
+// TestDialDirectStaysInsideAttemptCap: with a committed (dead) relay best
+// path and MaxAttempts small enough that truncation kicks in, the direct
+// last resort must survive the cut. Pre-fix, cands[:MaxAttempts] sliced
+// direct off and the dial failed outright.
+func TestDialDirectStaysInsideAttemptCap(t *testing.T) {
+	dest := echoServer(t)
+	deadRelay := "127.0.0.1:1"
+	mon, err := pathmon.New(pathmon.Config{Dest: dest.String(), Fleet: []string{deadRelay}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.Pin(pathmon.Path{Relay: deadRelay})
+
+	g, err := New(Config{
+		Dest:        dest.String(),
+		Monitor:     mon,
+		MaxAttempts: 1,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	conn, path, err := g.Dial(context.Background())
+	if err != nil {
+		t.Fatalf("Dial must keep direct inside the attempt cap: %v", err)
+	}
+	defer conn.Close()
+	if !path.IsDirect() {
+		t.Fatalf("path = %v, want direct", path)
+	}
+}
+
+// TestTrackAfterCloseClosesConn: a conn that loses the race with Close —
+// accepted or dialed after the shutdown sweep ran — must be closed by
+// track instead of silently registered, where it would dangle past
+// Close's wg.Wait with nothing left to reap it.
+func TestTrackAfterCloseClosesConn(t *testing.T) {
+	dest := echoServer(t)
+	g, err := New(Config{Dest: dest.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	local, remote := net.Pipe()
+	defer remote.Close()
+	if g.track(local) {
+		t.Fatal("track registered a conn after Close")
+	}
+	// track must have closed the conn: the peer sees EOF promptly.
+	_ = remote.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := remote.Read(make([]byte, 1)); err == nil {
+		t.Fatal("conn tracked after Close was left open")
+	}
+}
+
+// TestDialUsesWarmPool: with pooling on, a relay dial rides a
+// pre-established pooled socket — the relay sees no new TCP connection at
+// dial time, and the dial is attributed to the pooled counter.
+func TestDialUsesWarmPool(t *testing.T) {
+	dest := echoServer(t)
+	rl := liveRelay(t)
+	mon, err := pathmon.New(pathmon.Config{
+		Dest:  dest.String(),
+		Fleet: []string{rl.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.Pin(pathmon.Path{Relay: rl.Addr().String()})
+
+	g, err := New(Config{
+		Dest:             dest.String(),
+		Monitor:          mon,
+		PoolSize:         2,
+		PoolFillInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Pool() == nil {
+		t.Fatal("pool not created with PoolSize > 0")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Pool().Idle(rl.Addr().String()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := g.Pool().Idle(rl.Addr().String()); got < 2 {
+		t.Fatalf("pool warmed %d conns, want 2", got)
+	}
+
+	conn, path, err := g.Dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if path.IsDirect() {
+		t.Fatal("dial went direct; pinned best is the relay")
+	}
+	if got := g.Stats().DialsRelayPooled.Load(); got != 1 {
+		t.Fatalf("DialsRelayPooled = %d, want 1", got)
+	}
+	if got := g.Stats().DialsRelayCold.Load(); got != 0 {
+		t.Fatalf("DialsRelayCold = %d, want 0", got)
+	}
+	// The pooled leg really reaches the destination.
+	if _, err := conn.Write([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "warm" {
+		t.Fatalf("echo over pooled leg = %q, %v", buf, err)
 	}
 }

@@ -54,6 +54,12 @@ const (
 	// EventFlowTrace is a sampled flow's trace completing (root span
 	// ended); detail carries the trace ID, duration, and byte count.
 	EventFlowTrace
+	// EventPoolWarm is a connection pool warming a relay leg (detail
+	// carries the relay and outcome).
+	EventPoolWarm
+	// EventPoolDrain is a connection pool retiring idle legs (TTL
+	// expiry, failed liveness check, or a demoted relay draining).
+	EventPoolDrain
 )
 
 // String returns the event type's wire name.
@@ -91,6 +97,10 @@ func (t EventType) String() string {
 		return "impairment-change"
 	case EventFlowTrace:
 		return "flow-trace"
+	case EventPoolWarm:
+		return "pool-warm"
+	case EventPoolDrain:
+		return "pool-drain"
 	default:
 		return "unknown"
 	}
@@ -99,7 +109,7 @@ func (t EventType) String() string {
 // ParseEventType resolves a wire name back to its EventType (for the
 // /debug/events ?type= filter). ok is false for unknown names.
 func ParseEventType(name string) (EventType, bool) {
-	for t := EventConnect; t <= EventFlowTrace; t++ {
+	for t := EventConnect; t <= EventPoolDrain; t++ {
 		if t.String() == name {
 			return t, true
 		}

@@ -116,6 +116,9 @@ type Monitor struct {
 	streak        int
 	roundsDone    int64
 	lastRankFirst Path
+	// subs are ranking-change subscribers (connection pools, dashboards):
+	// each gets a coalesced wakeup after every integrated round or pin.
+	subs map[chan struct{}]struct{}
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -171,6 +174,7 @@ func New(cfg Config) (*Monitor, error) {
 		now:    time.Now,
 		states: make(map[Path]*pathState),
 		stopc:  make(chan struct{}),
+		subs:   make(map[chan struct{}]struct{}),
 	}
 	m.order = append(m.order, Direct)
 	for _, r := range cfg.Fleet {
@@ -326,6 +330,7 @@ func (m *Monitor) burst(ctx context.Context, p Path) (float64, error) {
 func (m *Monitor) integrate(results []probeResult, now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.notifyLocked()
 	m.roundsDone++
 	m.rounds.Inc()
 
@@ -452,6 +457,35 @@ func (m *Monitor) Pin(p Path) {
 	m.challenger, m.streak = Path{}, 0
 	m.setBestGauge()
 	m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("pinned %s", p))
+	m.notifyLocked()
+}
+
+// Subscribe registers for ranking-change wakeups: the returned channel
+// receives a (coalesced) notification after every integrated probe round
+// and every Pin. Subscribers re-read Ranked()/Best() themselves — the
+// channel carries no data, so a slow consumer misses nothing but
+// intermediate states. The unsubscribe func releases the registration.
+func (m *Monitor) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	m.mu.Lock()
+	m.subs[ch] = struct{}{}
+	m.mu.Unlock()
+	return ch, func() {
+		m.mu.Lock()
+		delete(m.subs, ch)
+		m.mu.Unlock()
+	}
+}
+
+// notifyLocked wakes every subscriber without blocking. Caller holds
+// m.mu.
+func (m *Monitor) notifyLocked() {
+	for ch := range m.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Best returns the current best path and whether one has been selected

@@ -291,3 +291,49 @@ func TestLiveProbing(t *testing.T) {
 		t.Fatal("dead relay produced no probe failures")
 	}
 }
+
+// TestSubscribeNotifiesOnRoundsAndPin: subscribers get a coalesced wakeup
+// after every integrated round and every Pin, and none after
+// unsubscribing.
+func TestSubscribeNotifiesOnRoundsAndPin(t *testing.T) {
+	m, _ := synthMonitor(t, Config{Fleet: []string{"r1:1"}})
+	ch, unsub := m.Subscribe()
+	now := time.Unix(0, 0)
+
+	drain := func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+
+	round(m, now, map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	if !drain() {
+		t.Fatal("no notification after an integrated round")
+	}
+	if drain() {
+		t.Fatal("more than one buffered notification (channel must coalesce)")
+	}
+
+	// Two quick rounds coalesce into at least one wakeup.
+	round(m, now.Add(time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	round(m, now.Add(2*time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	if !drain() {
+		t.Fatal("no notification after two rounds")
+	}
+
+	for drain() {
+	}
+	m.Pin(Path{Relay: "r1:1"})
+	if !drain() {
+		t.Fatal("no notification after Pin")
+	}
+
+	unsub()
+	round(m, now.Add(3*time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	if drain() {
+		t.Fatal("notification delivered after unsubscribe")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -98,6 +99,19 @@ type Relay struct {
 	dialLatency *obs.Histogram
 	scope       *obs.Scope
 
+	// baseCtx is cancelled by Close so handlers parked in dial-retry
+	// backoff (or any other context-aware wait) unblock immediately
+	// instead of sleeping out their schedule.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	// pending counts CONNECT-mode sockets accepted but still waiting for
+	// their preamble. They do not burn a MaxConns slot (a warm
+	// connection pool keeps idle pre-CONNECT sockets open), but they are
+	// capped at 2x MaxConns themselves so an open-socket flood stays
+	// bounded without idle warm legs starving fresh arrivals.
+	pending atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -142,6 +156,7 @@ func New(ln net.Listener, cfg Config) *Relay {
 		stats: &Stats{},
 		conns: make(map[net.Conn]struct{}),
 	}
+	r.baseCtx, r.cancelAll = context.WithCancel(context.Background())
 	r.instrument(cfg.Obs)
 	return r
 }
@@ -193,7 +208,19 @@ func (r *Relay) Serve() error {
 		// Reserve capacity atomically at accept time: the handler
 		// goroutine may not have run yet, so checking Active without
 		// reserving would let an accept burst sail past the cap.
-		if !r.reserve() {
+		//
+		// CONNECT mode defers the MaxConns reservation until the
+		// preamble arrives, so a warm connection pool can hold idle
+		// pre-CONNECT sockets open without starving real flows; the
+		// idle sockets are bounded by their own equal-sized pending cap.
+		reserved := r.cfg.Target != ""
+		if reserved {
+			if !r.reserve() {
+				_ = conn.Close()
+				r.stats.Overloaded.Add(1)
+				continue
+			}
+		} else if !r.reservePending() {
 			_ = conn.Close()
 			r.stats.Overloaded.Add(1)
 			continue
@@ -204,7 +231,7 @@ func (r *Relay) Serve() error {
 		go func() {
 			defer r.wg.Done()
 			defer r.untrack(conn)
-			if err := r.handle(conn); err != nil {
+			if err := r.handle(conn, reserved); err != nil {
 				if errors.Is(err, errACLRejected) {
 					r.stats.Rejected.Add(1)
 				} else {
@@ -227,6 +254,7 @@ func (r *Relay) Close() error {
 		_ = c.Close()
 	}
 	r.mu.Unlock()
+	r.cancelAll()
 	err := r.ln.Close()
 	r.wg.Wait()
 	return err
@@ -246,6 +274,24 @@ func (r *Relay) reserve() bool {
 	}
 }
 
+// reservePending claims one unit of the pre-CONNECT pending cap (2x
+// MaxConns — headroom so long-lived idle warm legs cannot starve fresh
+// arrivals of their transient pending slot); releasePending returns it
+// once the preamble arrives or the socket dies.
+func (r *Relay) reservePending() bool {
+	for {
+		cur := r.pending.Load()
+		if cur >= 2*int64(r.cfg.MaxConns) {
+			return false
+		}
+		if r.pending.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (r *Relay) releasePending() { r.pending.Add(-1) }
+
 func (r *Relay) track(c net.Conn) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -259,21 +305,39 @@ func (r *Relay) untrack(c net.Conn) {
 	_ = c.Close()
 }
 
-// handle relays one downstream connection. The caller has already
-// reserved MaxConns capacity (Stats.Active); the deferred decrement
-// releases it.
-func (r *Relay) handle(down net.Conn) error {
-	defer r.stats.Active.Add(-1)
+// handle relays one downstream connection. In forward mode the caller
+// has already reserved MaxConns capacity (Stats.Active); in CONNECT mode
+// the caller reserved only a pending slot and the MaxConns reservation
+// happens here, once the preamble arrives — an idle pre-CONNECT socket
+// (a gateway's warm connection pool) does not burn a relay slot.
+func (r *Relay) handle(down net.Conn, reserved bool) error {
+	defer func() {
+		if reserved {
+			r.stats.Active.Add(-1)
+		}
+	}()
 
 	target := r.cfg.Target
 	var tc flowtrace.Context
 	var br *bufio.Reader
 	if target == "" {
 		// CONNECT handshake: "CONNECT host:port [TP=<ctx>]\n" -> "OK\n".
+		// The read deadline is the relay's IdleTimeout, not DialTimeout:
+		// a pooled pre-CONNECT socket legitimately sits quiet until its
+		// owner checks it out, and only then sends the preamble.
 		br = bufio.NewReader(down)
-		_ = down.SetReadDeadline(time.Now().Add(r.cfg.DialTimeout))
+		if r.cfg.IdleTimeout > 0 {
+			_ = down.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout))
+		}
 		line, err := br.ReadString('\n')
+		r.releasePending()
 		if err != nil {
+			if errors.Is(err, io.EOF) && line == "" {
+				// A warm socket closed cleanly before sending any
+				// preamble: normal pool churn (TTL expiry, pool
+				// shutdown), not an error.
+				return nil
+			}
 			return fmt.Errorf("relay: read connect line: %w", err)
 		}
 		_ = down.SetReadDeadline(time.Time{})
@@ -287,13 +351,29 @@ func (r *Relay) handle(down net.Conn) error {
 			r.scope.Event(obs.EventACLReject, t)
 			return fmt.Errorf("relay: ACL forbids %s: %w", t, errACLRejected)
 		}
+		// The preamble is in: this is a real flow now, so it must claim a
+		// MaxConns slot like any forward-mode connection.
+		if !r.reserve() {
+			_, _ = io.WriteString(down, "ERR overloaded\n")
+			r.stats.Overloaded.Add(1)
+			return nil
+		}
+		reserved = true
 		target = t
 		tc = lineCtx
 		r.scope.Event(obs.EventConnect, t)
 	}
 
+	// Dial under a context cancelled when the relay shuts down and — in
+	// CONNECT mode — when the client hangs up mid-dial, so a caller that
+	// gives up cannot pin this goroutine (and its MaxConns slot) through
+	// the whole retry schedule.
+	dialCtx, cancelDial := context.WithCancel(r.baseCtx)
+	stopWatch := r.watchAbort(down, br, cancelDial)
 	dialSpan := r.cfg.Tracer.Continue("relay.dial", tc)
-	up, err := r.dialUpstream(target)
+	up, err := r.dialUpstream(dialCtx, target)
+	stopWatch()
+	cancelDial()
 	if err != nil {
 		dialSpan.SetDetail("fail " + target)
 		dialSpan.End()
@@ -323,20 +403,63 @@ func (r *Relay) handle(down net.Conn) error {
 	return r.splice(down, downReader, up, tc)
 }
 
+// watchAbort watches a CONNECT-mode downstream for the client hanging up
+// while the upstream dial (and its retry schedule) is in flight, calling
+// cancel if it does. Peek never consumes: bytes a client pipelines ahead
+// of the OK reply stay buffered for the splice. The returned stop func
+// unblocks the watcher and waits for it to exit, so the caller regains
+// exclusive use of the connection. In forward mode (nil br) there is
+// nothing to watch and stop is a no-op.
+func (r *Relay) watchAbort(down net.Conn, br *bufio.Reader, cancel context.CancelFunc) (stop func()) {
+	if br == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := br.Peek(1); err != nil && !isTimeout(err) {
+			// EOF / reset: the client is gone. A timeout is stop()
+			// reclaiming the connection, not a hangup.
+			cancel()
+		}
+	}()
+	return func() {
+		_ = down.SetReadDeadline(aLongTimeAgo)
+		<-done
+		_ = down.SetReadDeadline(time.Time{})
+	}
+}
+
+// aLongTimeAgo is an expired deadline used to unblock in-flight reads.
+var aLongTimeAgo = time.Unix(1, 0)
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // dialUpstream dials the target, retrying transient failures (refused,
-// timeout) up to DialRetries times with exponential backoff — the cloud
-// overlay's answer to a relay or destination that is briefly unreachable
-// while it restarts or fails over.
-func (r *Relay) dialUpstream(target string) (net.Conn, error) {
+// timeout) up to DialRetries times with jittered exponential backoff —
+// the cloud overlay's answer to a relay or destination that is briefly
+// unreachable while it restarts or fails over. The jitter desynchronizes
+// the retry schedules of the many flows a relay dials on behalf of, so
+// they cannot storm a recovering upstream in lockstep. Cancelling ctx
+// (relay shutdown, client hangup) aborts both the dial and the backoff
+// sleep immediately.
+func (r *Relay) dialUpstream(ctx context.Context, target string) (net.Conn, error) {
 	backoff := r.cfg.DialRetryBackoff
 	for attempt := 0; ; attempt++ {
-		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
+		dialCtx, cancel := context.WithTimeout(ctx, r.cfg.DialTimeout)
 		dialStart := time.Now()
-		up, err := r.cfg.Dialer.DialContext(ctx, "tcp", target)
+		up, err := r.cfg.Dialer.DialContext(dialCtx, "tcp", target)
 		cancel()
 		if err == nil {
 			r.dialLatency.ObserveDuration(time.Since(dialStart))
 			return up, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("relay: dial abandoned: %w", ctx.Err())
 		}
 		if attempt >= r.cfg.DialRetries || !transientDialError(err) {
 			return nil, err
@@ -344,9 +467,23 @@ func (r *Relay) dialUpstream(target string) (net.Conn, error) {
 		r.stats.DialRetries.Add(1)
 		r.scope.Event(obs.EventDialRetry,
 			fmt.Sprintf("%s attempt %d: %v", target, attempt+1, err))
-		time.Sleep(backoff)
+		wait := backoff + backoffJitter(backoff)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("relay: dial abandoned: %w", ctx.Err())
+		case <-time.After(wait):
+		}
 		backoff *= 2
 	}
+}
+
+// backoffJitter draws a uniform [0, d/2] jitter so concurrent retry
+// schedules spread out instead of synchronizing.
+func backoffJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d)/2 + 1))
 }
 
 // transientDialError reports whether a dial failure is worth retrying:
@@ -446,6 +583,18 @@ func DialVia(ctx context.Context, d Dialer, relayAddr, target string) (net.Conn,
 	if err != nil {
 		return nil, fmt.Errorf("relay: dial relay %s: %w", relayAddr, err)
 	}
+	return Connect(ctx, conn, target)
+}
+
+// Connect runs the client half of the CONNECT handshake for target on an
+// already-open connection to a relay, returning the relayed connection —
+// the warm-pool checkout path: a gateway that keeps pre-established relay
+// sockets skips the TCP handshake leg and pays only this one round trip.
+// ctx bounds the reply read via its deadline and carries the optional
+// trace context, exactly as in DialVia. On error the connection is
+// closed.
+func Connect(ctx context.Context, conn net.Conn, target string) (net.Conn, error) {
+	var err error
 	if tc := flowtrace.FromGoContext(ctx); tc.Sampled {
 		_, err = fmt.Fprintf(conn, "CONNECT %s %s%s\n", target, tracePrefix, tc.EncodeText())
 	} else {

@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -497,6 +498,173 @@ func TestMaxConnsAcceptBurst(t *testing.T) {
 		t.Errorf("overloaded = %d, want %d", got, burst-maxConns)
 	}
 	if got := st.Errors.Load(); got != 0 {
+		t.Errorf("errors = %d, want 0 (shedding is not an error)", got)
+	}
+}
+
+// refuseDialer fails every dial with ECONNREFUSED (a transient error, so
+// the retry schedule engages) and counts attempts.
+type refuseDialer struct{ calls atomic.Int64 }
+
+func (d *refuseDialer) DialContext(context.Context, string, string) (net.Conn, error) {
+	d.calls.Add(1)
+	return nil, &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}
+}
+
+// TestDialRetryBackoffAbortsOnClose (regression): Close must interrupt a
+// handler parked in dial-retry backoff. Pre-fix, dialUpstream slept with
+// time.Sleep, so Close blocked on wg.Wait for the rest of the schedule
+// (here several seconds).
+func TestDialRetryBackoffAbortsOnClose(t *testing.T) {
+	d := &refuseDialer{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(ln, Config{
+		Dialer:           d,
+		DialRetries:      1000,
+		DialRetryBackoff: 300 * time.Millisecond,
+	})
+	go r.Serve() //nolint:errcheck
+
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "CONNECT 127.0.0.1:1\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.Stats().DialRetries.Load() >= 1 })
+
+	start := time.Now()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v; handler slept through its retry backoff", elapsed)
+	}
+}
+
+// TestDialRetryAbortsWhenClientHangsUp (regression): a client that gives
+// up mid-retry-schedule must release the relay goroutine and its MaxConns
+// slot immediately, not after the remaining backoff (several seconds
+// here).
+func TestDialRetryAbortsWhenClientHangsUp(t *testing.T) {
+	d := &refuseDialer{}
+	r := startRelay(t, Config{
+		Dialer:           d,
+		DialRetries:      1000,
+		DialRetryBackoff: 300 * time.Millisecond,
+	})
+
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(conn, "CONNECT 127.0.0.1:1\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.Stats().Active.Load() == 1 })
+	waitFor(t, func() bool { return r.Stats().DialRetries.Load() >= 1 })
+
+	// Hang up. The abort watcher must cancel the dial context and the
+	// handler must release its slot well inside waitFor's 5 s budget.
+	_ = conn.Close()
+	waitFor(t, func() bool { return r.Stats().Active.Load() == 0 })
+	attempts := d.calls.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := d.calls.Load(); got != attempts {
+		t.Errorf("dial attempts kept coming after the client hung up: %d -> %d", attempts, got)
+	}
+}
+
+// TestIdlePreconnectDoesNotBurnSlot (regression): a connected socket that
+// has not yet sent its CONNECT preamble — a gateway's warm pool leg —
+// must not consume a MaxConns slot, and must be tolerated for longer than
+// DialTimeout.
+func TestIdlePreconnectDoesNotBurnSlot(t *testing.T) {
+	echo := echoServer(t)
+	r := startRelay(t, Config{MaxConns: 1, DialTimeout: 200 * time.Millisecond})
+
+	// A warm, idle, pre-CONNECT socket...
+	idle, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	waitFor(t, func() bool { return r.Stats().Accepted.Load() == 1 })
+
+	// ...must leave the single MaxConns slot free for a real flow, and
+	// must itself survive past DialTimeout (pre-fix the preamble read
+	// deadline was DialTimeout, which would kill pooled sockets).
+	time.Sleep(300 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := DialVia(ctx, nil, r.Addr().String(), echo.Addr().String())
+	if err != nil {
+		t.Fatalf("real flow blocked by an idle pre-CONNECT socket: %v", err)
+	}
+	defer conn.Close()
+	if got := roundtrip(t, conn, "warm leg"); got != "warm leg" {
+		t.Errorf("echo = %q", got)
+	}
+
+	// The idle socket is still usable: late preamble, same slot dance.
+	_ = conn.Close()
+	waitFor(t, func() bool { return r.Stats().Active.Load() == 0 })
+	late, err := Connect(ctx, idle, echo.Addr().String())
+	if err != nil {
+		t.Fatalf("late CONNECT on the warm socket: %v", err)
+	}
+	if got := roundtrip(t, late, "late leg"); got != "late leg" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+// TestPreconnectEOFIsNotAnError: a warm socket closed before sending any
+// preamble is normal pool churn and must not count as a relay error.
+func TestPreconnectEOFIsNotAnError(t *testing.T) {
+	r := startRelay(t, Config{})
+	conn, err := net.Dial("tcp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.Stats().Accepted.Load() == 1 })
+	_ = conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if got := r.Stats().Errors.Load(); got != 0 {
+		t.Errorf("errors = %d, want 0 (pre-preamble EOF is pool churn)", got)
+	}
+}
+
+// TestConnectModeOverloadAtPreamble: with the MaxConns reservation
+// deferred to preamble arrival, an over-capacity CONNECT is refused with
+// ERR overloaded and counted in Stats.Overloaded.
+func TestConnectModeOverloadAtPreamble(t *testing.T) {
+	hold := holdServer(t)
+	r := startRelay(t, Config{MaxConns: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	first, err := DialVia(ctx, nil, r.Addr().String(), hold.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	_, err = DialVia(ctx, nil, r.Addr().String(), hold.Addr().String())
+	if err == nil {
+		t.Fatal("second CONNECT succeeded past MaxConns=1")
+	}
+	if !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("err = %v, want ERR overloaded refusal", err)
+	}
+	if got := r.Stats().Overloaded.Load(); got != 1 {
+		t.Errorf("overloaded = %d, want 1", got)
+	}
+	if got := r.Stats().Errors.Load(); got != 0 {
 		t.Errorf("errors = %d, want 0 (shedding is not an error)", got)
 	}
 }
