@@ -7,13 +7,16 @@
 #   make vet          static checks
 #   make fmt          gofmt diff gate (fails if any file needs formatting)
 #   make check        all of the above
-#   make bench        data-plane benchmarks (pipe, relay, multipath, gateway dial)
+#   make bench        data-plane benchmarks (pipe, relay, multipath, gateway
+#                     dial, chain dial)
 #   make trace-smoke  flow-tracing gate: the tracing e2e under -race plus
 #                     the unsampled-path zero-allocation check
+#   make bench-smoke  chain gate: the chain failover e2e under -race plus
+#                     the established-chain zero-allocation check
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt check bench trace-smoke
+.PHONY: build test test-short race vet fmt check bench trace-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -39,10 +42,17 @@ fmt:
 check: fmt vet test race
 
 bench:
-	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive|GatewayDial' -benchmem ./...
+	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive|GatewayDial|ChainDial' -benchmem ./...
 
 # The alloc gate runs without -race (the race runtime adds allocations of
 # its own); the e2e runs with it.
 trace-smoke:
 	$(GO) test -race -run TestFlowTraceEndToEnd .
 	$(GO) test -run TestUnsampledPathAllocs ./internal/flowtrace/
+
+# Fails if chain dial allocates on the established-flow splice path: once
+# the hop-by-hop preamble completes, a chained flow must be the same
+# zero-alloc forwarding as a single hop.
+bench-smoke:
+	$(GO) test -race -run TestChainFailoverEndToEnd .
+	$(GO) test -run TestChainSpliceAllocs ./internal/chain/

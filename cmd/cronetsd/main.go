@@ -76,6 +76,8 @@ type options struct {
 	poolSize      int
 	poolIdleTTL   time.Duration
 	poolRelays    int
+	maxHops       int
+	chainCands    int
 }
 
 func main() {
@@ -100,6 +102,8 @@ func main() {
 	flag.IntVar(&o.poolSize, "pool-size", 0, "pre-warmed relay connections per relay the gateway keeps (0 = pooling off)")
 	flag.DurationVar(&o.poolIdleTTL, "pool-idle-ttl", time.Minute, "retire warm relay connections idle longer than this")
 	flag.IntVar(&o.poolRelays, "pool-relays", 2, "number of top-ranked relays the gateway keeps warm")
+	flag.IntVar(&o.maxHops, "max-hops", 1, "maximum relay hops per overlay path (2 enables two-hop chain candidates)")
+	flag.IntVar(&o.chainCands, "chain-candidates", 3, "top-ranked single-hop relays combined into chain candidates when -max-hops > 1")
 	flag.Parse()
 
 	var err error
@@ -149,7 +153,7 @@ func runRelay(o options) error {
 	slog.Info("cronetsd listening", "addr", r.Addr().String(), "mode", mode)
 
 	if o.metricsAddr != "" {
-		msrv, err := serveMetrics(o.metricsAddr, reg, tracer)
+		msrv, err := serveMetrics(o.metricsAddr, reg, tracer, nil)
 		if err != nil {
 			_ = r.Close()
 			return err
@@ -215,12 +219,14 @@ func runGateway(o options) error {
 	tracer := newTracer(o, "gateway", reg)
 
 	mon, err := pathmon.New(pathmon.Config{
-		Dest:         probeTarget,
-		Fleet:        fleet,
-		Interval:     o.probeInterval,
-		SwitchMargin: o.switchMargin,
-		SwitchRounds: o.switchRounds,
-		Obs:          reg,
+		Dest:            probeTarget,
+		Fleet:           fleet,
+		Interval:        o.probeInterval,
+		SwitchMargin:    o.switchMargin,
+		SwitchRounds:    o.switchRounds,
+		MaxHops:         o.maxHops,
+		ChainCandidates: o.chainCands,
+		Obs:             reg,
 	})
 	if err != nil {
 		return err
@@ -251,7 +257,7 @@ func runGateway(o options) error {
 		"fleet", strings.Join(fleet, ","), "probe_interval", o.probeInterval.String())
 
 	if o.metricsAddr != "" {
-		msrv, err := serveMetrics(o.metricsAddr, reg, tracer)
+		msrv, err := serveMetrics(o.metricsAddr, reg, tracer, mon)
 		if err != nil {
 			_ = gw.Close()
 			_ = ln.Close()
@@ -259,7 +265,7 @@ func runGateway(o options) error {
 		}
 		defer msrv.Close()
 		slog.Info("metrics listening", "addr", msrv.addr,
-			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /debug/traces /debug/pprof /healthz")
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/events /debug/traces /debug/paths /debug/pprof /healthz")
 	}
 
 	stopSummary := make(chan struct{})
@@ -356,8 +362,10 @@ type metricsServer struct {
 
 // serveMetrics starts the observability endpoints on addr: metrics,
 // events, flow traces, pprof profiles, and the sampled runtime-stats
-// collector behind the cronets_runtime_* series.
-func serveMetrics(addr string, reg *obs.Registry, tracer *flowtrace.Tracer) (*metricsServer, error) {
+// collector behind the cronets_runtime_* series. A non-nil mon
+// additionally mounts its ranked path table at /debug/paths (gateway
+// mode; relay mode has no monitor and passes nil).
+func serveMetrics(addr string, reg *obs.Registry, tracer *flowtrace.Tracer, mon *pathmon.Monitor) (*metricsServer, error) {
 	reg.PublishExpvar("cronets")
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())
@@ -365,6 +373,9 @@ func serveMetrics(addr string, reg *obs.Registry, tracer *flowtrace.Tracer) (*me
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/events", reg.EventsHandler())
 	mux.Handle("/debug/traces", tracer.Handler())
+	if mon != nil {
+		mux.Handle("/debug/paths", obs.GETOnly(mon.PathsHandler()))
+	}
 	// The binary never touches http.DefaultServeMux, so the pprof
 	// endpoints are mounted explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

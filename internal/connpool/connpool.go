@@ -363,9 +363,12 @@ func (p *Pool) targets() map[string]int {
 		return out
 	}
 	if best, ok := p.cfg.Ranker.Best(); ok && !best.IsDirect() {
+		// For a chain path Relay is its first hop — warming it makes a
+		// pooled chain dial pay only the per-hop CONNECT round trips.
 		out[best.Relay] = p.cfg.SizePerRelay
 	}
 	ranked := 0
+	seen := make(map[string]bool)
 	for _, st := range p.cfg.Ranker.Ranked() {
 		if ranked >= p.cfg.TopK {
 			break
@@ -373,6 +376,13 @@ func (p *Pool) targets() map[string]int {
 		if st.Path.IsDirect() || st.Down {
 			continue
 		}
+		if seen[st.Path.Relay] {
+			// A chain and a single-hop path sharing a first hop (or two
+			// chains through the same entry relay) warm one endpoint;
+			// don't let the duplicate burn a second TopK slot.
+			continue
+		}
+		seen[st.Path.Relay] = true
 		out[st.Path.Relay] = p.cfg.SizePerRelay
 		ranked++
 	}

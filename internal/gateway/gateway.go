@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cronets/internal/chain"
 	"cronets/internal/connpool"
 	"cronets/internal/flowtrace"
 	"cronets/internal/obs"
@@ -90,6 +91,10 @@ type Stats struct {
 	// dial (their sum is the total relay dial count).
 	DialsRelayPooled atomic.Int64
 	DialsRelayCold   atomic.Int64
+	// DialsChain counts successful multi-hop chain dials (the first hop
+	// may still have come from the warm pool; chain dials are not split
+	// pooled/cold).
+	DialsChain atomic.Int64
 	// Fallbacks counts dials that succeeded only on a non-first-choice
 	// path.
 	Fallbacks atomic.Int64
@@ -183,6 +188,8 @@ func (g *Gateway) instrument(reg *obs.Registry) {
 		"Successful destination dials by path kind.", g.stats.DialsRelayPooled.Load)
 	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "relay_cold"),
 		"Successful destination dials by path kind.", g.stats.DialsRelayCold.Load)
+	reg.CounterFunc(obs.Label("cronets_gateway_dials_total", "path", "chain"),
+		"Successful destination dials by path kind.", g.stats.DialsChain.Load)
 	reg.CounterFunc("cronets_gateway_fallbacks_total",
 		"Dials that succeeded only on a non-first-choice path.", g.stats.Fallbacks.Load)
 	reg.CounterFunc("cronets_gateway_dial_failures_total",
@@ -276,6 +283,12 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 		detail := p.String()
 		if p.IsDirect() {
 			g.stats.DialsDirect.Add(1)
+		} else if p.IsChain() {
+			g.stats.DialsChain.Add(1)
+			if pooled {
+				detail += " (pooled)"
+			}
+			g.scope.Event(obs.EventChainDial, detail)
 		} else if pooled {
 			g.stats.DialsRelayPooled.Add(1)
 			detail += " (pooled)"
@@ -314,6 +327,24 @@ func (g *Gateway) dialPath(ctx context.Context, p pathmon.Path) (conn net.Conn, 
 	defer cancel()
 	if p.IsDirect() {
 		conn, err = g.cfg.Dialer.DialContext(ctx, "tcp", g.cfg.DirectAddr)
+		return conn, false, err
+	}
+	if p.IsChain() {
+		hops := p.Hops()
+		copts := chain.Options{Dialer: g.cfg.Dialer, Tracer: g.cfg.Tracer}
+		if g.pool != nil {
+			// The pool warms the chain's first hop (Path.Relay); a hit
+			// skips the TCP handshake to it and pays only the per-hop
+			// CONNECT round trips.
+			if warm, ok := g.pool.Get(hops[0]); ok {
+				if conn, err = chain.Connect(ctx, warm, hops, g.cfg.Dest, copts); err == nil {
+					return conn, true, nil
+				}
+				g.scope.Event(obs.EventDial,
+					fmt.Sprintf("pooled leg to %s died, cold dialing chain: %v", hops[0], err))
+			}
+		}
+		conn, err = chain.Dial(ctx, hops, g.cfg.Dest, copts)
 		return conn, false, err
 	}
 	if g.pool != nil {

@@ -60,6 +60,12 @@ const (
 	// EventPoolDrain is a connection pool retiring idle legs (TTL
 	// expiry, failed liveness check, or a demoted relay draining).
 	EventPoolDrain
+	// EventChainCandidates is pathmon's two-hop chain candidate set
+	// changing (detail carries counts: enumerated, from, pruned).
+	EventChainCandidates
+	// EventChainDial is a gateway dial riding a multi-hop chain (detail
+	// carries the hop list).
+	EventChainDial
 )
 
 // String returns the event type's wire name.
@@ -101,6 +107,10 @@ func (t EventType) String() string {
 		return "pool-warm"
 	case EventPoolDrain:
 		return "pool-drain"
+	case EventChainCandidates:
+		return "chain-candidates"
+	case EventChainDial:
+		return "chain-dial"
 	default:
 		return "unknown"
 	}
@@ -109,7 +119,7 @@ func (t EventType) String() string {
 // ParseEventType resolves a wire name back to its EventType (for the
 // /debug/events ?type= filter). ok is false for unknown names.
 func ParseEventType(name string) (EventType, bool) {
-	for t := EventConnect; t <= EventPoolDrain; t++ {
+	for t := EventConnect; t <= EventChainDial; t++ {
 		if t.String() == name {
 			return t, true
 		}

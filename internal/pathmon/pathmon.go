@@ -14,20 +14,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"cronets/internal/chain"
 	"cronets/internal/measure"
 	"cronets/internal/obs"
 	"cronets/internal/relay"
 )
 
-// Path identifies one candidate route to the destination.
+// Path identifies one candidate route to the destination: direct, one
+// relay hop, or a two-hop relay chain. Path is comparable (it keys the
+// monitor's state table).
 type Path struct {
-	// Relay is the relay's CONNECT endpoint; empty means the direct path.
+	// Relay is the first-hop relay's CONNECT endpoint; empty means the
+	// direct path.
 	Relay string
+	// Via is the second-hop relay the first hop chains through (the
+	// first hop's CONNECT target); empty for direct and single-hop
+	// paths.
+	Via string
 }
 
 // Direct is the no-relay path.
@@ -36,12 +45,45 @@ var Direct = Path{}
 // IsDirect reports whether the path skips the overlay.
 func (p Path) IsDirect() bool { return p.Relay == "" }
 
-// String returns a display name ("direct" or "via <relay>").
-func (p Path) String() string {
-	if p.IsDirect() {
-		return "direct"
+// IsChain reports whether the path crosses more than one relay.
+func (p Path) IsChain() bool { return p.Via != "" }
+
+// Hops returns the ordered relay endpoints the path crosses (nil for
+// direct).
+func (p Path) Hops() []string {
+	switch {
+	case p.IsDirect():
+		return nil
+	case p.IsChain():
+		return []string{p.Relay, p.Via}
+	default:
+		return []string{p.Relay}
 	}
-	return "via " + p.Relay
+}
+
+// Kind returns the path's class: "direct", "relay", or "chain".
+func (p Path) Kind() string {
+	switch {
+	case p.IsDirect():
+		return "direct"
+	case p.IsChain():
+		return "chain"
+	default:
+		return "relay"
+	}
+}
+
+// String returns a display name ("direct", "via <relay>", or
+// "via <relay>><relay>").
+func (p Path) String() string {
+	switch {
+	case p.IsDirect():
+		return "direct"
+	case p.IsChain():
+		return "via " + p.Relay + ">" + p.Via
+	default:
+		return "via " + p.Relay
+	}
 }
 
 // Config parameterizes a Monitor. Dest is required; everything else has
@@ -84,6 +126,29 @@ type Config struct {
 	// StaleAfter is the estimate age past which a path's score inflates
 	// (default 3×Interval; negative disables).
 	StaleAfter time.Duration
+	// MaxHops caps overlay path length. 1 (the default) probes only the
+	// direct path and single-relay paths; 2 additionally enumerates and
+	// probes two-hop relay chains composed from the fleet, ranked in the
+	// same table under the same hysteresis.
+	MaxHops int
+	// ChainCandidates bounds chain enumeration when MaxHops >= 2: the
+	// top-M usable single-hop relays by score form both the first-hop
+	// and second-hop candidate sets, giving at most M*(M-1) chains per
+	// round (default 3). The committed best (or current challenger)
+	// chain is always kept in the probe set even after it falls out of
+	// candidacy, so hysteresis — not enumeration churn — decides when to
+	// leave it.
+	ChainCandidates int
+	// ChainPruneFactor prunes hopeless chains before they cost probes:
+	// a candidate pair whose summed single-hop srtts exceed
+	// ChainPruneFactor x the best current path score is skipped
+	// (default 3). The sum of the two access legs is a
+	// triangle-inequality-flavored floor on what the chain must beat;
+	// the generous slack matters because congestion and routing policy
+	// violate the geometric triangle inequality routinely — that
+	// violation is exactly the win CRONets chases — so only grossly
+	// hopeless pairs are dropped. Negative disables pruning.
+	ChainPruneFactor float64
 	// Dialer overrides the probe dialer (tests).
 	Dialer relay.Dialer
 	// Obs receives probe metrics and path events (nil disables
@@ -98,16 +163,23 @@ type Monitor struct {
 	// now is the clock, injectable by tests.
 	now func() time.Time
 
-	probes    *obs.Counter
-	failures  *obs.Counter
-	switches  *obs.Counter
-	rounds    *obs.Counter
-	rttHist   *obs.Histogram
-	bestDirec *obs.Gauge
-	scope     *obs.Scope
+	probes *obs.Counter
+	// failDial/failReject/failTimeout split probe failures by reason:
+	// an unreachable socket, a relay that answered but refused the
+	// CONNECT (up but overloaded, ACL, dead upstream), and a deadline
+	// expiry — three different kinds of path-down evidence.
+	failDial    *obs.Counter
+	failReject  *obs.Counter
+	failTimeout *obs.Counter
+	switches    *obs.Counter
+	rounds      *obs.Counter
+	rttHist     *obs.Histogram
+	bestDirec   *obs.Gauge
+	scope       *obs.Scope
 
 	mu     sync.Mutex
 	order  []Path // stable probe order: direct, then fleet
+	chains []Path // current two-hop candidates, rebuilt each round
 	states map[Path]*pathState
 	best   Path
 	chosen bool // a best path has been selected
@@ -166,6 +238,19 @@ func New(cfg Config) (*Monitor, error) {
 	} else if cfg.StaleAfter < 0 {
 		cfg.StaleAfter = 0
 	}
+	if cfg.MaxHops < 1 {
+		cfg.MaxHops = 1
+	} else if cfg.MaxHops > 2 {
+		cfg.MaxHops = 2
+	}
+	if cfg.ChainCandidates <= 0 {
+		cfg.ChainCandidates = 3
+	}
+	if cfg.ChainPruneFactor == 0 {
+		cfg.ChainPruneFactor = 3
+	} else if cfg.ChainPruneFactor < 0 {
+		cfg.ChainPruneFactor = 0
+	}
 	if cfg.Dialer == nil {
 		cfg.Dialer = &net.Dialer{}
 	}
@@ -190,8 +275,12 @@ func New(cfg Config) (*Monitor, error) {
 func (m *Monitor) instrument(reg *obs.Registry) {
 	m.probes = reg.Counter("cronets_pathmon_probes_total",
 		"Per-path probe attempts across all rounds.")
-	m.failures = reg.Counter("cronets_pathmon_probe_failures_total",
-		"Probe attempts that failed (dial error, timeout, bad reply).")
+	const failHelp = "Probe attempts that failed, by reason: dial = unreachable socket, " +
+		"reject = relay up but CONNECT refused (overload, ACL, dead upstream), " +
+		"timeout = deadline expiry."
+	m.failDial = reg.Counter(obs.Label("cronets_pathmon_probe_failures_total", "reason", "dial"), failHelp)
+	m.failReject = reg.Counter(obs.Label("cronets_pathmon_probe_failures_total", "reason", "reject"), failHelp)
+	m.failTimeout = reg.Counter(obs.Label("cronets_pathmon_probe_failures_total", "reason", "timeout"), failHelp)
 	m.switches = reg.Counter("cronets_pathmon_switches_total",
 		"Best-path switches committed after hysteresis.")
 	m.rounds = reg.Counter("cronets_pathmon_rounds_total",
@@ -245,12 +334,19 @@ type probeResult struct {
 // ProbeRound measures every candidate path once, concurrently, and folds
 // the results into the ranked table. Each path's dial + probes share one
 // ProbeTimeout budget, so the round completes within roughly one timeout
-// even if every relay is dead. Exported for on-demand probing (tests,
-// warm-up before serving).
+// even if every relay is dead. With MaxHops >= 2 the round also probes
+// the current two-hop chain candidates (enumerated from the previous
+// round's single-hop estimates — chains appear from the second round).
+// Exported for on-demand probing (tests, warm-up before serving).
 func (m *Monitor) ProbeRound(ctx context.Context) {
-	results := make([]probeResult, len(m.order))
+	m.mu.Lock()
+	paths := make([]Path, 0, len(m.order)+len(m.chains))
+	paths = append(paths, m.order...)
+	paths = append(paths, m.chains...)
+	m.mu.Unlock()
+	results := make([]probeResult, len(paths))
 	var wg sync.WaitGroup
-	for i, p := range m.order {
+	for i, p := range paths {
 		wg.Add(1)
 		go func(i int, p Path) {
 			defer wg.Done()
@@ -267,20 +363,28 @@ func (m *Monitor) ProbeRound(ctx context.Context) {
 	m.integrate(results, m.now())
 }
 
-// probePath runs one path's round: dial (direct or via relay), RTT echo
-// probes, optional throughput burst.
+// dialPath opens one measurement connection over a path: a direct dial,
+// a single-relay CONNECT, or a two-hop chain dial. The context's
+// deadline governs every leg.
+func (m *Monitor) dialPath(ctx context.Context, p Path) (net.Conn, error) {
+	switch {
+	case p.IsDirect():
+		return m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
+	case p.IsChain():
+		return chain.Dial(ctx, p.Hops(), m.cfg.Dest, chain.Options{Dialer: m.cfg.Dialer})
+	default:
+		return relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
+	}
+}
+
+// probePath runs one path's round: dial (direct, via relay, or down a
+// chain), RTT echo probes, optional throughput burst.
 func (m *Monitor) probePath(ctx context.Context, p Path) probeResult {
 	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
 	defer cancel()
 	m.probes.Inc()
 
-	var conn net.Conn
-	var err error
-	if p.IsDirect() {
-		conn, err = m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
-	} else {
-		conn, err = relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
-	}
+	conn, err := m.dialPath(ctx, p)
 	if err != nil {
 		return probeResult{path: p, err: fmt.Errorf("dial: %w", err)}
 	}
@@ -303,13 +407,7 @@ func (m *Monitor) probePath(ctx context.Context, p Path) probeResult {
 
 // burst runs the optional short throughput burst for a path.
 func (m *Monitor) burst(ctx context.Context, p Path) (float64, error) {
-	var conn net.Conn
-	var err error
-	if p.IsDirect() {
-		conn, err = m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
-	} else {
-		conn, err = relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
-	}
+	conn, err := m.dialPath(ctx, p)
 	if err != nil {
 		return 0, err
 	}
@@ -331,6 +429,7 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	defer m.notifyLocked()
+	defer m.rebuildChainsLocked(now)
 	m.roundsDone++
 	m.rounds.Inc()
 
@@ -341,8 +440,9 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 		}
 		if r.err != nil {
 			st.observeFailure()
-			m.failures.Inc()
-			m.scope.Event(obs.EventProbe, fmt.Sprintf("%s fail: %v", r.path, r.err))
+			reason := failReason(r.err)
+			m.failCounter(reason).Inc()
+			m.scope.Event(obs.EventProbe, fmt.Sprintf("%s fail (%s): %v", r.path, reason, r.err))
 			continue
 		}
 		st.observe(r.rtt, m.cfg.Alpha, now)
@@ -404,6 +504,139 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 	}
 }
 
+// failReason classifies a probe failure for the reason-split failure
+// counter: a relay that answered and refused ("reject" — it is up but
+// won't carry the flow: overload, ACL, dead upstream) is different
+// evidence than a deadline expiry ("timeout") or an unreachable socket
+// ("dial"). The reject check comes first: a refusal that arrives just as
+// the budget expires is still a refusal.
+func failReason(err error) string {
+	switch {
+	case errors.Is(err, relay.ErrRefused):
+		return "reject"
+	case isTimeoutErr(err):
+		return "timeout"
+	default:
+		return "dial"
+	}
+}
+
+// isTimeoutErr reports whether err is a deadline expiry (net-level or
+// context-level).
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// failCounter maps a failure reason to its labeled counter.
+func (m *Monitor) failCounter(reason string) *obs.Counter {
+	switch reason {
+	case "reject":
+		return m.failReject
+	case "timeout":
+		return m.failTimeout
+	default:
+		return m.failDial
+	}
+}
+
+// rebuildChainsLocked recomputes the two-hop candidate set from the
+// round's single-hop estimates: the top-ChainCandidates usable relays
+// form both hop sets, ordered pairs (a != b) are enumerated, and pairs
+// whose summed single-hop srtts already exceed ChainPruneFactor x the
+// best current score are pruned — the triangle-inequality-flavored floor
+// (a chain cannot undercut its access legs' combined propagation delay)
+// with slack for the congestion-induced violations the overlay exists to
+// exploit. New candidates get fresh states; chains that fall out of
+// candidacy are dropped unless they are the committed best path or the
+// current challenger, which stay probed so hysteresis (not enumeration
+// churn) decides their fate. Caller holds m.mu.
+func (m *Monitor) rebuildChainsLocked(now time.Time) {
+	if m.cfg.MaxHops < 2 {
+		return
+	}
+	type single struct {
+		p     Path
+		score float64
+		srtt  float64
+	}
+	best := math.Inf(1)
+	singles := make([]single, 0, len(m.order))
+	for _, p := range m.order {
+		st := m.states[p]
+		score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold)
+		if score < best {
+			best = score
+		}
+		if p.IsDirect() || st.down(m.cfg.FailThreshold) {
+			continue
+		}
+		singles = append(singles, single{p: p, score: score, srtt: st.srtt})
+	}
+	// Chains can themselves hold the best score; they only tighten the
+	// pruning bound, never loosen it.
+	for _, p := range m.chains {
+		if st := m.states[p]; st != nil {
+			if score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold); score < best {
+				best = score
+			}
+		}
+	}
+	sort.SliceStable(singles, func(i, j int) bool { return singles[i].score < singles[j].score })
+	if len(singles) > m.cfg.ChainCandidates {
+		singles = singles[:m.cfg.ChainCandidates]
+	}
+
+	want := make(map[Path]bool, len(singles)*len(singles))
+	chains := make([]Path, 0, len(singles)*len(singles))
+	pruned := 0
+	for _, a := range singles {
+		for _, b := range singles {
+			if a.p.Relay == b.p.Relay {
+				continue
+			}
+			if m.cfg.ChainPruneFactor > 0 && !math.IsInf(best, 1) &&
+				a.srtt+b.srtt > m.cfg.ChainPruneFactor*best {
+				pruned++
+				continue
+			}
+			c := Path{Relay: a.p.Relay, Via: b.p.Relay}
+			want[c] = true
+			chains = append(chains, c)
+		}
+	}
+	// Never stop probing the incumbent or the challenger mid-hysteresis.
+	for _, keep := range []Path{m.best, m.challenger} {
+		if keep.IsChain() && !want[keep] {
+			want[keep] = true
+			chains = append(chains, keep)
+		}
+	}
+
+	changed := len(chains) != len(m.chains)
+	for _, c := range chains {
+		if m.states[c] == nil {
+			m.states[c] = &pathState{path: c}
+			changed = true
+		}
+	}
+	for p := range m.states {
+		if p.IsChain() && !want[p] {
+			delete(m.states, p)
+			changed = true
+		}
+	}
+	m.chains = chains
+	if changed {
+		m.scope.Event(obs.EventChainCandidates,
+			fmt.Sprintf("%d chain(s) from %d single-hop candidate(s), %d pruned",
+				len(chains), len(singles), pruned))
+	}
+}
+
 // commitSwitch moves the best path. Caller holds m.mu.
 func (m *Monitor) commitSwitch(to Path, why string) {
 	from := m.best
@@ -424,11 +657,16 @@ func (m *Monitor) setBestGauge() {
 	}
 }
 
-// rankLocked builds the score-sorted table. Caller holds m.mu.
+// rankLocked builds the score-sorted table over every candidate — the
+// static set (direct + fleet) and the current chain candidates. Caller
+// holds m.mu.
 func (m *Monitor) rankLocked(now time.Time) []PathStatus {
-	out := make([]PathStatus, 0, len(m.order))
-	for _, p := range m.order {
+	out := make([]PathStatus, 0, len(m.order)+len(m.chains))
+	for _, p := range append(append([]Path(nil), m.order...), m.chains...) {
 		st := m.states[p]
+		if st == nil {
+			continue
+		}
 		out = append(out, PathStatus{
 			Path:       p,
 			Score:      st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold),

@@ -287,7 +287,11 @@ func TestLiveProbing(t *testing.T) {
 		t.Fatalf("ranked table wrong: direct up=%v relay up=%v dead down=%v\n%+v",
 			sawDirect, sawRelay, sawDead, m.Ranked())
 	}
-	if reg.Counter("cronets_pathmon_probe_failures_total", "").Value() == 0 {
+	var failures int64
+	for _, reason := range []string{"dial", "reject", "timeout"} {
+		failures += reg.Counter(obs.Label("cronets_pathmon_probe_failures_total", "reason", reason), "").Value()
+	}
+	if failures == 0 {
 		t.Fatal("dead relay produced no probe failures")
 	}
 }

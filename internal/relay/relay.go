@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -586,14 +587,28 @@ func DialVia(ctx context.Context, d Dialer, relayAddr, target string) (net.Conn,
 	return Connect(ctx, conn, target)
 }
 
+// ErrRefused marks a CONNECT the relay answered with an ERR line: the
+// relay's socket is alive but it declined the flow (ACL forbids the
+// target, MaxConns overload, upstream dial failure). Callers classify it
+// with errors.Is — it is path-down evidence of a different kind than a
+// dead socket or a dial timeout, and pathmon counts it separately.
+var ErrRefused = errors.New("relay: connect refused")
+
 // Connect runs the client half of the CONNECT handshake for target on an
 // already-open connection to a relay, returning the relayed connection —
 // the warm-pool checkout path: a gateway that keeps pre-established relay
 // sockets skips the TCP handshake leg and pays only this one round trip.
-// ctx bounds the reply read via its deadline and carries the optional
-// trace context, exactly as in DialVia. On error the connection is
-// closed.
+// ctx bounds the whole preamble exchange: its deadline covers both the
+// request write and the reply read, and cancelling it mid-handshake
+// force-expires the socket so the caller returns promptly. ctx also
+// carries the optional trace context, exactly as in DialVia. On error the
+// connection is closed.
 func Connect(ctx context.Context, conn net.Conn, target string) (net.Conn, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	stopWatch := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(aLongTimeAgo) })
+	defer stopWatch()
 	var err error
 	if tc := flowtrace.FromGoContext(ctx); tc.Sampled {
 		_, err = fmt.Fprintf(conn, "CONNECT %s %s%s\n", target, tracePrefix, tc.EncodeText())
@@ -602,26 +617,40 @@ func Connect(ctx context.Context, conn net.Conn, target string) (net.Conn, error
 	}
 	if err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("relay: send connect: %w", err)
+		return nil, connectAbortErr(ctx, fmt.Errorf("relay: send connect: %w", err))
 	}
 	br := bufio.NewReader(conn)
-	if dl, ok := ctx.Deadline(); ok {
-		_ = conn.SetReadDeadline(dl)
-	}
 	line, err := br.ReadString('\n')
 	if err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("relay: read connect reply: %w", err)
+		return nil, connectAbortErr(ctx, fmt.Errorf("relay: read connect reply: %w", err))
 	}
-	_ = conn.SetReadDeadline(time.Time{})
+	_ = conn.SetDeadline(time.Time{})
 	if strings.TrimSpace(line) != "OK" {
 		_ = conn.Close()
-		return nil, fmt.Errorf("relay: connect refused: %s", strings.TrimSpace(line))
+		return nil, fmt.Errorf("%w: %s", ErrRefused, strings.TrimSpace(line))
 	}
 	if br.Buffered() > 0 {
 		return &bufferedConn{Conn: conn, r: br}, nil
 	}
 	return conn, nil
+}
+
+// connectAbortErr substitutes the context's error for the I/O error it
+// induced: a cancellation-expired deadline surfaces as context.Canceled,
+// not as a generic timeout.
+func connectAbortErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("relay: connect aborted: %w", ctxErr)
+	}
+	// The socket deadline mirrors ctx's deadline, and the read can expire
+	// a hair before the context's own timer fires: classify that as the
+	// deadline too, so callers (pathmon) never see a raw I/O timeout for
+	// a context-bounded handshake.
+	if _, hasDL := ctx.Deadline(); hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("relay: connect aborted: %w", context.DeadlineExceeded)
+	}
+	return err
 }
 
 // bufferedConn keeps bytes the handshake reader over-read.
