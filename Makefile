@@ -5,6 +5,7 @@
 #   make test-short   fast inner-loop gate: go test -short ./...
 #   make race         race-detector pass over the full tree
 #   make vet          static checks
+#   make lint         go vet plus staticcheck/golangci-lint when installed
 #   make fmt          gofmt diff gate (fails if any file needs formatting)
 #   make check        all of the above
 #   make bench        data-plane benchmarks (pipe, relay, multipath, gateway
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race vet fmt check bench trace-smoke bench-smoke
+.PHONY: build test test-short race vet lint fmt check bench trace-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Lint gate: go vet always runs; staticcheck and golangci-lint run when
+# present on PATH (offline environments without them still pass).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		echo "golangci-lint run"; golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; skipping"; \
+	fi
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

@@ -189,7 +189,7 @@ func TestChainFailoverEndToEnd(t *testing.T) {
 	)
 	netemAB.SetImpairment(netem.Impairment{}, netem.Impairment{})
 	degradeStart := time.Now()
-	wantChain := pathmon.Path{Relay: aAddr, Via: bAddr}
+	wantChain := pathmon.MakeRoute(aAddr, bAddr)
 	waitFor(t, 20*time.Second, "switch to the 2-hop chain", func() bool {
 		best, ok := mon.Best()
 		return ok && best == wantChain

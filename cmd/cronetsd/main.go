@@ -102,7 +102,7 @@ func main() {
 	flag.IntVar(&o.poolSize, "pool-size", 0, "pre-warmed relay connections per relay the gateway keeps (0 = pooling off)")
 	flag.DurationVar(&o.poolIdleTTL, "pool-idle-ttl", time.Minute, "retire warm relay connections idle longer than this")
 	flag.IntVar(&o.poolRelays, "pool-relays", 2, "number of top-ranked relays the gateway keeps warm")
-	flag.IntVar(&o.maxHops, "max-hops", 1, "maximum relay hops per overlay path (2 enables two-hop chain candidates)")
+	flag.IntVar(&o.maxHops, "max-hops", 1, "maximum relay hops per overlay route (values >= 2 enumerate multi-hop chain candidates up to that depth)")
 	flag.IntVar(&o.chainCands, "chain-candidates", 3, "top-ranked single-hop relays combined into chain candidates when -max-hops > 1")
 	flag.Parse()
 
@@ -332,6 +332,7 @@ func logGatewayStats(gw *gateway.Gateway, mon *pathmon.Monitor, msg string) {
 		"dials_direct", st.DialsDirect.Load(),
 		"dials_relay_pooled", st.DialsRelayPooled.Load(),
 		"dials_relay_cold", st.DialsRelayCold.Load(),
+		"dials_chain", st.DialsChain.Load(),
 		"fallbacks", st.Fallbacks.Load(),
 		"dial_failures", st.DialFailures.Load(),
 		"bytes_up", st.BytesUp.Load(),

@@ -76,7 +76,7 @@ func TestWarmPoolEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: relayAddr})
+	mon.Pin(pathmon.MakeRoute(relayAddr))
 
 	dialer := &handshakeDelayDialer{delay: handshakeRTT}
 	gwPooled, err := gateway.New(gateway.Config{

@@ -170,7 +170,7 @@ func run() error {
 			state = "DOWN"
 		}
 		fmt.Printf(" %s %-28s score %8.1f ms  srtt %6.1f ms  samples %-3d %s\n",
-			marker, st.Path, st.Score*1000,
+			marker, st.Route, st.Score*1000,
 			float64(st.SRTT.Microseconds())/1000, st.Samples, state)
 	}
 

@@ -148,7 +148,7 @@ func run() error {
 			marker = "*"
 		}
 		fmt.Printf("  %s %-7s %-40s srtt %6.1f ms\n",
-			marker, st.Path.Kind(), st.Path, float64(st.SRTT)/float64(time.Millisecond))
+			marker, st.Route.Kind(), st.Route, float64(st.SRTT)/float64(time.Millisecond))
 	}
 
 	// Dial the committed chain and measure through it.

@@ -4,10 +4,12 @@ package cronets_test
 // internal/flowtrace: a traced flow through gateway -> netem -> relay ->
 // measure server must yield one assembled trace on /debug/traces whose
 // span tree has the hops in order (gateway.flow at the root, gateway.dial
-// under it, and the netem.shape / relay.dial / relay.splice hop spans
-// parented under gateway.dial via the CONNECT-preamble context), with a
-// first-byte latency shorter than the flow's total duration, plus a
-// flow-trace completion event on /debug/events.
+// under it, chain.hop — the unified dial seam records one per overlay
+// hop, even at depth 1 — under the dial, and the netem.shape /
+// relay.dial / relay.splice hop spans parented under chain.hop via the
+// CONNECT-preamble context), with a first-byte latency shorter than the
+// flow's total duration, plus a flow-trace completion event on
+// /debug/events.
 
 import (
 	"encoding/json"
@@ -67,7 +69,7 @@ func TestFlowTraceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: link.Addr().String()})
+	mon.Pin(pathmon.MakeRoute(link.Addr().String()))
 
 	gw, err := gateway.New(gateway.Config{
 		Dest:    destAddr,
@@ -96,7 +98,7 @@ func TestFlowTraceEndToEnd(t *testing.T) {
 	// end as their own splices notice the teardown.
 	waitFor(t, 10*time.Second, "assembled trace with every hop span", func() bool {
 		for _, tr := range tracer.Traces() {
-			if tr.Root == "gateway.flow" && len(tr.Spans) >= 5 {
+			if tr.Root == "gateway.flow" && len(tr.Spans) >= 6 {
 				return true
 			}
 		}
@@ -115,30 +117,35 @@ func TestFlowTraceEndToEnd(t *testing.T) {
 	for _, s := range trace.Spans {
 		byName[s.Name] = s
 	}
-	for _, name := range []string{"gateway.flow", "gateway.dial", "netem.shape", "relay.dial", "relay.splice"} {
+	for _, name := range []string{"gateway.flow", "gateway.dial", "chain.hop", "netem.shape", "relay.dial", "relay.splice"} {
 		if _, ok := byName[name]; !ok {
 			t.Fatalf("trace is missing span %q; have %+v", name, trace.Spans)
 		}
 	}
 
-	// Parentage: the dial under the root, every remote hop under the dial
-	// (its context rode the CONNECT preamble).
-	flow, dial := byName["gateway.flow"], byName["gateway.dial"]
+	// Parentage: the dial under the root, the per-hop CONNECT span under
+	// the dial, every remote hop under chain.hop (its context rode the
+	// CONNECT preamble).
+	flow, dial, hopSpan := byName["gateway.flow"], byName["gateway.dial"], byName["chain.hop"]
 	if flow.ParentID != "" {
 		t.Errorf("gateway.flow has parent %s, want root", flow.ParentID)
 	}
 	if dial.ParentID != flow.SpanID {
 		t.Errorf("gateway.dial parent = %s, want gateway.flow (%s)", dial.ParentID, flow.SpanID)
 	}
+	if hopSpan.ParentID != dial.SpanID {
+		t.Errorf("chain.hop parent = %s, want gateway.dial (%s)", hopSpan.ParentID, dial.SpanID)
+	}
 	for _, hop := range []string{"netem.shape", "relay.dial", "relay.splice"} {
-		if got := byName[hop].ParentID; got != dial.SpanID {
-			t.Errorf("%s parent = %s, want gateway.dial (%s)", hop, got, dial.SpanID)
+		if got := byName[hop].ParentID; got != hopSpan.SpanID {
+			t.Errorf("%s parent = %s, want chain.hop (%s)", hop, got, hopSpan.SpanID)
 		}
 	}
 
-	// Hop order by start time: the flow opens first, then the dial; the
-	// netem link sees the CONNECT preamble before the relay dials out.
-	order := []string{"gateway.flow", "gateway.dial", "netem.shape", "relay.dial"}
+	// Hop order by start time: the flow opens first, then the dial and its
+	// per-hop CONNECT; the netem link sees the CONNECT preamble before the
+	// relay dials out.
+	order := []string{"gateway.flow", "gateway.dial", "chain.hop", "netem.shape", "relay.dial"}
 	for i := 1; i < len(order); i++ {
 		prev, cur := byName[order[i-1]], byName[order[i]]
 		if cur.Start.Before(prev.Start) {

@@ -79,3 +79,4 @@ func benchChainDial(b *testing.B, nHops int) {
 
 func BenchmarkChainDial1Hop(b *testing.B) { benchChainDial(b, 1) }
 func BenchmarkChainDial2Hop(b *testing.B) { benchChainDial(b, 2) }
+func BenchmarkChainDial3Hop(b *testing.B) { benchChainDial(b, 3) }

@@ -32,11 +32,11 @@ import (
 // Ranker supplies the control-plane view the filler follows. It is
 // satisfied by *pathmon.Monitor; tests substitute synthetic rankings.
 type Ranker interface {
-	// Best returns the committed best path (false before the first
+	// Best returns the committed best route (false before the first
 	// usable round).
-	Best() (pathmon.Path, bool)
-	// Ranked returns the current path table sorted best-first.
-	Ranked() []pathmon.PathStatus
+	Best() (pathmon.Route, bool)
+	// Ranked returns the current route table sorted best-first.
+	Ranked() []pathmon.RouteStatus
 	// Subscribe returns a coalesced ranking-change wakeup channel and an
 	// unsubscribe func.
 	Subscribe() (<-chan struct{}, func())
@@ -363,9 +363,9 @@ func (p *Pool) targets() map[string]int {
 		return out
 	}
 	if best, ok := p.cfg.Ranker.Best(); ok && !best.IsDirect() {
-		// For a chain path Relay is its first hop — warming it makes a
-		// pooled chain dial pay only the per-hop CONNECT round trips.
-		out[best.Relay] = p.cfg.SizePerRelay
+		// Warming a route's first hop makes a pooled dial pay only the
+		// per-hop CONNECT round trips, whatever the route's depth.
+		out[best.First()] = p.cfg.SizePerRelay
 	}
 	ranked := 0
 	seen := make(map[string]bool)
@@ -373,17 +373,18 @@ func (p *Pool) targets() map[string]int {
 		if ranked >= p.cfg.TopK {
 			break
 		}
-		if st.Path.IsDirect() || st.Down {
+		if st.Route.IsDirect() || st.Down {
 			continue
 		}
-		if seen[st.Path.Relay] {
-			// A chain and a single-hop path sharing a first hop (or two
-			// chains through the same entry relay) warm one endpoint;
-			// don't let the duplicate burn a second TopK slot.
+		if seen[st.Route.First()] {
+			// Routes sharing a first hop (a single-hop path and the chains
+			// extending it, or two chains through the same entry relay)
+			// warm one endpoint; don't let the duplicate burn a second
+			// TopK slot.
 			continue
 		}
-		seen[st.Path.Relay] = true
-		out[st.Path.Relay] = p.cfg.SizePerRelay
+		seen[st.Route.First()] = true
+		out[st.Route.First()] = p.cfg.SizePerRelay
 		ranked++
 	}
 	return out

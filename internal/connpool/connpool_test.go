@@ -64,22 +64,22 @@ func (s *acceptServer) closeAll() {
 // fakeRanker is a mutable synthetic control-plane view.
 type fakeRanker struct {
 	mu     sync.Mutex
-	best   pathmon.Path
+	best   pathmon.Route
 	chosen bool
-	table  []pathmon.PathStatus
+	table  []pathmon.RouteStatus
 	subs   []chan struct{}
 }
 
-func (f *fakeRanker) Best() (pathmon.Path, bool) {
+func (f *fakeRanker) Best() (pathmon.Route, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.best, f.chosen
 }
 
-func (f *fakeRanker) Ranked() []pathmon.PathStatus {
+func (f *fakeRanker) Ranked() []pathmon.RouteStatus {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return append([]pathmon.PathStatus(nil), f.table...)
+	return append([]pathmon.RouteStatus(nil), f.table...)
 }
 
 func (f *fakeRanker) Subscribe() (<-chan struct{}, func()) {
@@ -91,7 +91,7 @@ func (f *fakeRanker) Subscribe() (<-chan struct{}, func()) {
 }
 
 // set swaps the ranking and wakes subscribers, like integrate does.
-func (f *fakeRanker) set(best pathmon.Path, chosen bool, table []pathmon.PathStatus) {
+func (f *fakeRanker) set(best pathmon.Route, chosen bool, table []pathmon.RouteStatus) {
 	f.mu.Lock()
 	f.best, f.chosen, f.table = best, chosen, table
 	subs := append([]chan struct{}(nil), f.subs...)
@@ -104,8 +104,8 @@ func (f *fakeRanker) set(best pathmon.Path, chosen bool, table []pathmon.PathSta
 	}
 }
 
-func relayStatus(addr string, down bool) pathmon.PathStatus {
-	return pathmon.PathStatus{Path: pathmon.Path{Relay: addr}, Down: down}
+func relayStatus(addr string, down bool) pathmon.RouteStatus {
+	return pathmon.RouteStatus{Route: pathmon.MakeRoute(addr), Down: down}
 }
 
 // waitIdle polls until relayAddr has exactly want warm connections.
@@ -231,7 +231,7 @@ func TestRankingDrivenResize(t *testing.T) {
 	srvA := newAcceptServer(t)
 	srvB := newAcceptServer(t)
 	rk := &fakeRanker{}
-	rk.set(pathmon.Path{Relay: srvA.addr()}, true, []pathmon.PathStatus{
+	rk.set(pathmon.MakeRoute(srvA.addr()), true, []pathmon.RouteStatus{
 		relayStatus(srvA.addr(), false),
 		relayStatus(srvB.addr(), false),
 	})
@@ -245,7 +245,7 @@ func TestRankingDrivenResize(t *testing.T) {
 
 	// The ranking flips: B leads, A demoted out of the top-K. The
 	// subscription wakes the filler — A's idle conns drain, B warms.
-	rk.set(pathmon.Path{Relay: srvB.addr()}, true, []pathmon.PathStatus{
+	rk.set(pathmon.MakeRoute(srvB.addr()), true, []pathmon.RouteStatus{
 		relayStatus(srvB.addr(), false),
 		relayStatus(srvA.addr(), false),
 	})
@@ -258,7 +258,7 @@ func TestBestPathAlwaysWarmedEvenIfDownRanked(t *testing.T) {
 	rk := &fakeRanker{}
 	// Pinned best relay that the ranking calls Down (no probe samples
 	// yet): the pool still warms it — traffic is about to use it.
-	rk.set(pathmon.Path{Relay: srv.addr()}, true, []pathmon.PathStatus{
+	rk.set(pathmon.MakeRoute(srv.addr()), true, []pathmon.RouteStatus{
 		relayStatus(srv.addr(), true),
 	})
 	p := New(Config{Ranker: rk, SizePerRelay: 1, FillInterval: time.Hour})

@@ -43,7 +43,7 @@ func newBenchGateway(b *testing.B, poolSize int) (*Gateway, string) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = mon.Close() })
-	mon.Pin(pathmon.Path{Relay: relayAddr})
+	mon.Pin(pathmon.MakeRoute(relayAddr))
 
 	g, err := New(Config{
 		Dest:             dest,

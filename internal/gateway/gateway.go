@@ -25,6 +25,20 @@ import (
 	"cronets/internal/relay"
 )
 
+// Ranker supplies the control-plane route ranking a Gateway follows. It
+// is satisfied by *pathmon.Monitor; tests substitute scripted rankings
+// to exercise the dial fallback ladder without sockets.
+type Ranker interface {
+	// Best returns the hysteresis-committed best route (false before the
+	// first usable round).
+	Best() (pathmon.Route, bool)
+	// Ranked returns the current route table sorted best-first.
+	Ranked() []pathmon.RouteStatus
+	// Subscribe returns a coalesced ranking-change wakeup channel and an
+	// unsubscribe func (the warm pool's filler follows it).
+	Subscribe() (<-chan struct{}, func())
+}
+
 // Config parameterizes a Gateway. Dest is required.
 type Config struct {
 	// Dest is the destination address as reachable from the relays — the
@@ -33,9 +47,9 @@ type Config struct {
 	// DirectAddr is the client's direct route to Dest (defaults to Dest;
 	// emulations point it at a netem proxy).
 	DirectAddr string
-	// Monitor supplies path rankings. With a nil Monitor the gateway
-	// always dials direct.
-	Monitor *pathmon.Monitor
+	// Monitor supplies route rankings (usually the *pathmon.Monitor).
+	// With a nil Monitor the gateway always dials direct.
+	Monitor Ranker
 	// DialTimeout bounds each path attempt (default 10 s).
 	DialTimeout time.Duration
 	// IdleTimeout closes listener-mode flows with no traffic in either
@@ -205,26 +219,26 @@ func (g *Gateway) instrument(reg *obs.Registry) {
 // Stats returns the gateway's counters.
 func (g *Gateway) Stats() *Stats { return g.stats }
 
-// candidates returns the ordered list of paths a dial should try: the
-// hysteresis-committed best path first, then the remaining usable paths
+// candidates returns the ordered list of routes a dial should try: the
+// hysteresis-committed best route first, then the remaining usable routes
 // score-ordered. Without a monitor (or before its first round) it is the
-// direct path alone.
-func (g *Gateway) candidates() []pathmon.Path {
+// direct route alone.
+func (g *Gateway) candidates() []pathmon.Route {
 	if g.cfg.Monitor == nil {
-		return []pathmon.Path{pathmon.Direct}
+		return []pathmon.Route{pathmon.Direct}
 	}
 	best, ok := g.cfg.Monitor.Best()
 	if !ok {
-		return []pathmon.Path{pathmon.Direct}
+		return []pathmon.Route{pathmon.Direct}
 	}
-	out := []pathmon.Path{best}
+	out := []pathmon.Route{best}
 	haveDirect := best.IsDirect()
 	for _, st := range g.cfg.Monitor.Ranked() {
-		if st.Path == best || st.Down {
+		if st.Route == best || st.Down {
 			continue
 		}
-		out = append(out, st.Path)
-		haveDirect = haveDirect || st.Path.IsDirect()
+		out = append(out, st.Route)
+		haveDirect = haveDirect || st.Route.IsDirect()
 	}
 	if !haveDirect {
 		// The direct Internet path needs no overlay cooperation; keep it
@@ -235,15 +249,15 @@ func (g *Gateway) candidates() []pathmon.Path {
 }
 
 // Dial opens one connection to the destination over the current best
-// path, falling back to the next-ranked paths on dial failure. It
-// returns the connection and the path it actually took.
+// route, falling back to the next-ranked routes on dial failure. It
+// returns the connection and the route it actually took.
 //
 // Tracing: with a Tracer configured, Dial records a gateway.dial span
-// covering path selection and every attempt. The span parents under the
+// covering route selection and every attempt. The span parents under the
 // flow context carried in ctx (flowtrace.NewGoContext) or, absent one,
 // starts a new trace subject to the sampling rate; relay attempts
 // propagate the span's context in the CONNECT preamble.
-func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
+func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Route, error) {
 	span := g.cfg.Tracer.Start("gateway.dial", flowtrace.FromGoContext(ctx))
 	defer span.End()
 	if span != nil {
@@ -271,7 +285,7 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 	}
 	var lastErr error
 	for i, p := range cands {
-		conn, pooled, err := g.dialPath(ctx, p)
+		conn, pooled, err := g.dialRoute(ctx, p)
 		if err != nil {
 			lastErr = err
 			g.scope.Event(obs.EventDial, fmt.Sprintf("fail %s: %v", p, err))
@@ -312,53 +326,40 @@ func (g *Gateway) Dial(ctx context.Context) (net.Conn, pathmon.Path, error) {
 		lastErr = errors.New("no candidate paths")
 	}
 	if span != nil {
-		span.SetDetail(fmt.Sprintf("failed after %d path(s)", len(cands)))
+		span.SetDetail(fmt.Sprintf("failed after %d route(s)", len(cands)))
 	}
-	return nil, pathmon.Path{}, fmt.Errorf("gateway: all %d path(s) failed: %w", len(cands), lastErr)
+	return nil, pathmon.Route{}, fmt.Errorf("gateway: all %d route(s) failed: %w", len(cands), lastErr)
 }
 
-// dialPath opens one connection over a specific path. For relay paths it
-// first tries a warm pooled socket — sending the CONNECT preamble on an
-// already-open connection skips the TCP-handshake round trip — and cold
-// dials when the pool misses (or a checked-out socket dies mid
-// handshake), so behaviour degrades to exactly the unpooled path.
-func (g *Gateway) dialPath(ctx context.Context, p pathmon.Path) (conn net.Conn, pooled bool, err error) {
+// dialRoute opens one connection over a specific route — the single dial
+// seam for every depth. The zero-hop route is a plain direct dial; any
+// deeper route walks its hop list with one CONNECT per hop (one hop is
+// exactly the classic single-relay path). Overlay routes first try a
+// warm pooled socket to the first hop — sending the CONNECT preamble on
+// an already-open connection skips the TCP-handshake round trip — and
+// cold dial when the pool misses (or a checked-out socket dies mid
+// handshake), so behaviour degrades to exactly the unpooled route.
+func (g *Gateway) dialRoute(ctx context.Context, r pathmon.Route) (conn net.Conn, pooled bool, err error) {
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.DialTimeout)
 	defer cancel()
-	if p.IsDirect() {
+	hops := r.Hops()
+	if len(hops) == 0 {
 		conn, err = g.cfg.Dialer.DialContext(ctx, "tcp", g.cfg.DirectAddr)
 		return conn, false, err
 	}
-	if p.IsChain() {
-		hops := p.Hops()
-		copts := chain.Options{Dialer: g.cfg.Dialer, Tracer: g.cfg.Tracer}
-		if g.pool != nil {
-			// The pool warms the chain's first hop (Path.Relay); a hit
-			// skips the TCP handshake to it and pays only the per-hop
-			// CONNECT round trips.
-			if warm, ok := g.pool.Get(hops[0]); ok {
-				if conn, err = chain.Connect(ctx, warm, hops, g.cfg.Dest, copts); err == nil {
-					return conn, true, nil
-				}
-				g.scope.Event(obs.EventDial,
-					fmt.Sprintf("pooled leg to %s died, cold dialing chain: %v", hops[0], err))
-			}
-		}
-		conn, err = chain.Dial(ctx, hops, g.cfg.Dest, copts)
-		return conn, false, err
-	}
+	copts := chain.Options{Dialer: g.cfg.Dialer, Tracer: g.cfg.Tracer}
 	if g.pool != nil {
-		if warm, ok := g.pool.Get(p.Relay); ok {
-			if conn, err = relay.Connect(ctx, warm, g.cfg.Dest); err == nil {
+		if warm, ok := g.pool.Get(hops[0]); ok {
+			if conn, err = chain.Connect(ctx, warm, hops, g.cfg.Dest, copts); err == nil {
 				return conn, true, nil
 			}
-			// The warm leg died between health check and handshake:
-			// fall through to a cold dial rather than failing the flow.
+			// The warm leg died between health check and handshake: fall
+			// through to a cold dial rather than failing the flow.
 			g.scope.Event(obs.EventDial,
-				fmt.Sprintf("pooled leg to %s died, cold dialing: %v", p.Relay, err))
+				fmt.Sprintf("pooled leg to %s died, cold dialing: %v", hops[0], err))
 		}
 	}
-	conn, err = relay.DialVia(ctx, g.cfg.Dialer, p.Relay, g.cfg.Dest)
+	conn, err = chain.Dial(ctx, hops, g.cfg.Dest, copts)
 	return conn, false, err
 }
 
@@ -483,7 +484,7 @@ func (g *Gateway) handle(down net.Conn) {
 	defer flow.End()
 	ctx := flowtrace.NewGoContext(context.Background(), flow.Context())
 
-	up, path, err := g.Dial(ctx)
+	up, route, err := g.Dial(ctx)
 	if err != nil {
 		flow.SetDetail("dial failed")
 		g.scope.Logger().Warn("gateway dial failed", "err", err)
@@ -497,7 +498,9 @@ func (g *Gateway) handle(down net.Conn) {
 	}
 	defer g.untrack(up)
 	if flow != nil {
-		flow.SetDetail("via " + path.String())
+		// Route.String() already carries the "via" prefix for overlay
+		// routes ("direct", "via a", "via a>b>c").
+		flow.SetDetail(route.String())
 	}
 
 	g.stats.Active.Add(1)

@@ -100,7 +100,7 @@ func TestDialFollowsMonitorBestPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: rl.Addr().String()})
+	mon.Pin(pathmon.MakeRoute(rl.Addr().String()))
 
 	g, err := New(Config{Dest: dest, Monitor: mon})
 	if err != nil {
@@ -141,7 +141,7 @@ func TestDialFallsBackWhenBestPathDead(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: deadRelay})
+	mon.Pin(pathmon.MakeRoute(deadRelay))
 
 	reg := obs.NewRegistry()
 	g, err := New(Config{Dest: dest, Monitor: mon, DialTimeout: time.Second, Obs: reg})
@@ -361,7 +361,7 @@ func TestDialDirectStaysInsideAttemptCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: deadRelay})
+	mon.Pin(pathmon.MakeRoute(deadRelay))
 
 	g, err := New(Config{
 		Dest:        dest.String(),
@@ -424,7 +424,7 @@ func TestDialUsesWarmPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	mon.Pin(pathmon.Path{Relay: rl.Addr().String()})
+	mon.Pin(pathmon.MakeRoute(rl.Addr().String()))
 
 	g, err := New(Config{
 		Dest:             dest.String(),

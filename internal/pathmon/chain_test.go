@@ -15,10 +15,10 @@ import (
 )
 
 // chainSet snapshots the monitor's current chain candidates.
-func chainSet(m *Monitor) map[Path]bool {
+func chainSet(m *Monitor) map[Route]bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[Path]bool, len(m.chains))
+	out := make(map[Route]bool, len(m.chains))
 	for _, c := range m.chains {
 		out[c] = true
 	}
@@ -26,11 +26,11 @@ func chainSet(m *Monitor) map[Path]bool {
 }
 
 func TestChainEnumerationTopM(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
-	c := Path{Relay: "relay-c:9000"}
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
+	c := MakeRoute("relay-c:9000")
 	m, _ := synthMonitor(t, Config{
-		Fleet:           []string{a.Relay, b.Relay, c.Relay},
+		Fleet:           []string{a.First(), b.First(), c.First()},
 		Alpha:           1,
 		MaxHops:         2,
 		ChainCandidates: 2,
@@ -38,7 +38,7 @@ func TestChainEnumerationTopM(t *testing.T) {
 	now := time.Unix(1000, 0)
 
 	// One good round: A and B are the top-2 singles, C trails badly.
-	round(m, now, map[Path]time.Duration{
+	round(m, now, map[Route]time.Duration{
 		Direct: 50 * time.Millisecond,
 		a:      40 * time.Millisecond,
 		b:      45 * time.Millisecond,
@@ -46,7 +46,7 @@ func TestChainEnumerationTopM(t *testing.T) {
 	})
 
 	chains := chainSet(m)
-	want := []Path{{Relay: a.Relay, Via: b.Relay}, {Relay: b.Relay, Via: a.Relay}}
+	want := []Route{MakeRoute(a.First(), b.First()), MakeRoute(b.First(), a.First())}
 	if len(chains) != len(want) {
 		t.Fatalf("chains = %v, want exactly %v", chains, want)
 	}
@@ -58,7 +58,7 @@ func TestChainEnumerationTopM(t *testing.T) {
 	// The candidates appear in the ranked table as probeable paths.
 	kinds := map[string]int{}
 	for _, st := range m.Ranked() {
-		kinds[st.Path.Kind()]++
+		kinds[st.Route.Kind()]++
 	}
 	if kinds["chain"] != 2 {
 		t.Errorf("ranked table has %d chain rows, want 2", kinds["chain"])
@@ -66,10 +66,10 @@ func TestChainEnumerationTopM(t *testing.T) {
 }
 
 func TestChainEnumerationOffByDefault(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
-	m, _ := synthMonitor(t, Config{Fleet: []string{a.Relay, b.Relay}, Alpha: 1})
-	round(m, time.Unix(1000, 0), map[Path]time.Duration{
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
+	m, _ := synthMonitor(t, Config{Fleet: []string{a.First(), b.First()}, Alpha: 1})
+	round(m, time.Unix(1000, 0), map[Route]time.Duration{
 		Direct: 50 * time.Millisecond,
 		a:      10 * time.Millisecond,
 		b:      10 * time.Millisecond,
@@ -80,17 +80,17 @@ func TestChainEnumerationOffByDefault(t *testing.T) {
 }
 
 func TestChainPruningDropsHopelessPairs(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
 	m, _ := synthMonitor(t, Config{
-		Fleet:            []string{a.Relay, b.Relay},
+		Fleet:            []string{a.First(), b.First()},
 		Alpha:            1,
 		MaxHops:          2,
 		ChainPruneFactor: 1, // tight: no slack for triangle violations
 	})
 	// Direct is fast; each relay leg alone costs 100 ms, so any pair's
 	// summed srtt (200 ms) is far beyond 1x the best score.
-	round(m, time.Unix(1000, 0), map[Path]time.Duration{
+	round(m, time.Unix(1000, 0), map[Route]time.Duration{
 		Direct: 10 * time.Millisecond,
 		a:      100 * time.Millisecond,
 		b:      100 * time.Millisecond,
@@ -101,11 +101,11 @@ func TestChainPruningDropsHopelessPairs(t *testing.T) {
 }
 
 func TestChainCanBecomeBestViaHysteresis(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
-	ab := Path{Relay: a.Relay, Via: b.Relay}
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
+	ab := MakeRoute(a.First(), b.First())
 	m, reg := synthMonitor(t, Config{
-		Fleet:        []string{a.Relay, b.Relay},
+		Fleet:        []string{a.First(), b.First()},
 		Alpha:        1,
 		MaxHops:      2,
 		SwitchRounds: 2,
@@ -115,7 +115,7 @@ func TestChainCanBecomeBestViaHysteresis(t *testing.T) {
 
 	// Round 1: singles only; direct becomes the incumbent and chains are
 	// enumerated for the next round.
-	base := map[Path]time.Duration{
+	base := map[Route]time.Duration{
 		Direct: 100 * time.Millisecond,
 		a:      110 * time.Millisecond,
 		b:      110 * time.Millisecond,
@@ -132,7 +132,7 @@ func TestChainCanBecomeBestViaHysteresis(t *testing.T) {
 	// direct path (the CRONets win): it probes far faster than anything
 	// else, and after SwitchRounds qualifying rounds it takes traffic.
 	for i := 0; i < 6; i++ {
-		rtts := map[Path]time.Duration{ab: 20 * time.Millisecond}
+		rtts := map[Route]time.Duration{ab: 20 * time.Millisecond}
 		for p, d := range base {
 			rtts[p] = d
 		}
@@ -147,11 +147,11 @@ func TestChainCanBecomeBestViaHysteresis(t *testing.T) {
 }
 
 func TestChainIncumbentSurvivesCandidacyLoss(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
-	ab := Path{Relay: a.Relay, Via: b.Relay}
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
+	ab := MakeRoute(a.First(), b.First())
 	m, _ := synthMonitor(t, Config{
-		Fleet:         []string{a.Relay, b.Relay},
+		Fleet:         []string{a.First(), b.First()},
 		Alpha:         1,
 		MaxHops:       2,
 		SwitchRounds:  2,
@@ -160,14 +160,14 @@ func TestChainIncumbentSurvivesCandidacyLoss(t *testing.T) {
 	now := time.Unix(1000, 0)
 	tick := func() time.Time { now = now.Add(time.Second); return now }
 
-	base := map[Path]time.Duration{
+	base := map[Route]time.Duration{
 		Direct: 100 * time.Millisecond,
 		a:      110 * time.Millisecond,
 		b:      110 * time.Millisecond,
 	}
 	round(m, tick(), base)
 	for i := 0; i < 4; i++ {
-		rtts := map[Path]time.Duration{ab: 20 * time.Millisecond}
+		rtts := map[Route]time.Duration{ab: 20 * time.Millisecond}
 		for p, d := range base {
 			rtts[p] = d
 		}
@@ -182,7 +182,7 @@ func TestChainIncumbentSurvivesCandidacyLoss(t *testing.T) {
 	// collapses, but the incumbent chain must stay probed and stay best,
 	// not vanish through enumeration churn.
 	for i := 0; i < 4; i++ {
-		round(m, tick(), map[Path]time.Duration{
+		round(m, tick(), map[Route]time.Duration{
 			Direct: 100 * time.Millisecond,
 			a:      -1,
 			b:      -1,
@@ -198,17 +198,17 @@ func TestChainIncumbentSurvivesCandidacyLoss(t *testing.T) {
 }
 
 func TestProbeFailureReasonSplit(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	m, reg := synthMonitor(t, Config{Fleet: []string{a.Relay}, Alpha: 1})
+	a := MakeRoute("relay-a:9000")
+	m, reg := synthMonitor(t, Config{Fleet: []string{a.First()}, Alpha: 1})
 	now := time.Unix(1000, 0)
 	m.integrate([]probeResult{
-		{path: a, err: fmt.Errorf("dial: %w", relay.ErrRefused)},
+		{route: a, err: fmt.Errorf("dial: %w", relay.ErrRefused)},
 	}, now)
 	m.integrate([]probeResult{
-		{path: a, err: fmt.Errorf("probe: %w", errTimeout{})},
+		{route: a, err: fmt.Errorf("probe: %w", errTimeout{})},
 	}, now.Add(time.Second))
 	m.integrate([]probeResult{
-		{path: a, err: errors.New("dial: connection refused")},
+		{route: a, err: errors.New("dial: connection refused")},
 	}, now.Add(2*time.Second))
 
 	for reason, want := range map[string]int64{"reject": 1, "timeout": 1, "dial": 1} {

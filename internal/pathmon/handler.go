@@ -50,9 +50,9 @@ func (m *Monitor) PathsHandler() http.Handler {
 		rows := make([]PathRow, 0, len(ranked))
 		for _, st := range ranked {
 			row := PathRow{
-				Path:     st.Path.String(),
-				Kind:     st.Path.Kind(),
-				Hops:     st.Path.Hops(),
+				Path:     st.Route.String(),
+				Kind:     st.Route.Kind(),
+				Hops:     st.Route.Hops(),
 				SRTTMs:   ms(st.SRTT),
 				RTTVarMs: ms(st.RTTVar),
 				Mbps:     st.Mbps,
@@ -81,7 +81,7 @@ func (m *Monitor) PathsHandler() http.Handler {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // pathStateName collapses a row's status flags into one state word.
-func pathStateName(st PathStatus) string {
+func pathStateName(st RouteStatus) string {
 	switch {
 	case st.Best:
 		return "best"

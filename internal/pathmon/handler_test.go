@@ -8,16 +8,16 @@ import (
 )
 
 func TestPathsHandlerJSON(t *testing.T) {
-	a := Path{Relay: "relay-a:9000"}
-	b := Path{Relay: "relay-b:9000"}
+	a := MakeRoute("relay-a:9000")
+	b := MakeRoute("relay-b:9000")
 	m, _ := synthMonitor(t, Config{
-		Fleet:         []string{a.Relay, b.Relay},
+		Fleet:         []string{a.First(), b.First()},
 		Alpha:         1,
 		MaxHops:       2,
 		FailThreshold: 1,
 	})
 	now := time.Unix(1000, 0)
-	round(m, now, map[Path]time.Duration{
+	round(m, now, map[Route]time.Duration{
 		Direct: 10 * time.Millisecond,
 		a:      30 * time.Millisecond,
 		b:      -1, // down: its score is +Inf and must render as null

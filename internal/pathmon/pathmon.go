@@ -1,13 +1,19 @@
 // Package pathmon is the overlay control plane's measurement half: a
 // background prober that, for one (client, destination) pair and a fleet
 // of candidate relays, periodically measures the direct path and each
-// one-hop relay path with internal/measure echo probes (plus optional
-// short throughput bursts), maintains per-path EWMA/variance scores with
-// staleness decay, and publishes a ranked path table. Switching is damped
+// overlay route with internal/measure echo probes (plus optional
+// short throughput bursts), maintains per-route EWMA/variance scores with
+// staleness decay, and publishes a ranked route table. Switching is damped
 // by hysteresis: a challenger must beat the incumbent by a configurable
 // margin for K consecutive rounds before traffic moves, so transient RTT
 // wobble cannot flap the overlay — the CRONets provisioning service's
 // "which cloud path beats the Internet right now?" loop (PAPER.md §3).
+//
+// Routes are uniform N-hop hop lists (Route): the direct path is the
+// zero-hop route, a single relay is the one-hop route, and deeper chains
+// are enumerated by a beam search over the ranked single-hop relays
+// (MaxHops bounds the depth) — one representation, one dial seam
+// (chain.Dial), one scoring table.
 package pathmon
 
 import (
@@ -26,66 +32,6 @@ import (
 	"cronets/internal/relay"
 )
 
-// Path identifies one candidate route to the destination: direct, one
-// relay hop, or a two-hop relay chain. Path is comparable (it keys the
-// monitor's state table).
-type Path struct {
-	// Relay is the first-hop relay's CONNECT endpoint; empty means the
-	// direct path.
-	Relay string
-	// Via is the second-hop relay the first hop chains through (the
-	// first hop's CONNECT target); empty for direct and single-hop
-	// paths.
-	Via string
-}
-
-// Direct is the no-relay path.
-var Direct = Path{}
-
-// IsDirect reports whether the path skips the overlay.
-func (p Path) IsDirect() bool { return p.Relay == "" }
-
-// IsChain reports whether the path crosses more than one relay.
-func (p Path) IsChain() bool { return p.Via != "" }
-
-// Hops returns the ordered relay endpoints the path crosses (nil for
-// direct).
-func (p Path) Hops() []string {
-	switch {
-	case p.IsDirect():
-		return nil
-	case p.IsChain():
-		return []string{p.Relay, p.Via}
-	default:
-		return []string{p.Relay}
-	}
-}
-
-// Kind returns the path's class: "direct", "relay", or "chain".
-func (p Path) Kind() string {
-	switch {
-	case p.IsDirect():
-		return "direct"
-	case p.IsChain():
-		return "chain"
-	default:
-		return "relay"
-	}
-}
-
-// String returns a display name ("direct", "via <relay>", or
-// "via <relay>><relay>").
-func (p Path) String() string {
-	switch {
-	case p.IsDirect():
-		return "direct"
-	case p.IsChain():
-		return "via " + p.Relay + ">" + p.Via
-	default:
-		return "via " + p.Relay
-	}
-}
-
 // Config parameterizes a Monitor. Dest is required; everything else has
 // serviceable defaults.
 type Config struct {
@@ -100,17 +46,17 @@ type Config struct {
 	Fleet []string
 	// Interval is the probe round period (default 5 s).
 	Interval time.Duration
-	// ProbeTimeout bounds each path's dial + probes per round
+	// ProbeTimeout bounds each route's dial + probes per round
 	// (default Interval/2, capped at 2 s minimum 100 ms) so one dead
 	// relay cannot stall a round.
 	ProbeTimeout time.Duration
-	// ProbeCount is how many echo probes each path gets per round
+	// ProbeCount is how many echo probes each route gets per round
 	// (default 4).
 	ProbeCount int
 	// Alpha is the EWMA weight of a new sample (default 0.3).
 	Alpha float64
 	// BurstDuration, when positive, adds a short throughput burst after
-	// the RTT probes each round; the result is reported in the path
+	// the RTT probes each round; the result is reported in the route
 	// table but does not enter the delay score.
 	BurstDuration time.Duration
 	// SwitchMargin is the fraction by which a challenger's score must
@@ -119,35 +65,36 @@ type Config struct {
 	// SwitchRounds is how many consecutive qualifying rounds the same
 	// challenger needs before traffic switches (default 3).
 	SwitchRounds int
-	// FailThreshold is how many consecutive failed rounds take a path
+	// FailThreshold is how many consecutive failed rounds take a route
 	// out of contention (default 2). The incumbent going down switches
 	// immediately, ignoring hysteresis.
 	FailThreshold int
-	// StaleAfter is the estimate age past which a path's score inflates
+	// StaleAfter is the estimate age past which a route's score inflates
 	// (default 3×Interval; negative disables).
 	StaleAfter time.Duration
-	// MaxHops caps overlay path length. 1 (the default) probes only the
-	// direct path and single-relay paths; 2 additionally enumerates and
-	// probes two-hop relay chains composed from the fleet, ranked in the
-	// same table under the same hysteresis.
+	// MaxHops caps overlay route depth. 1 (the default) probes only the
+	// direct path and single-relay routes; values >= 2 additionally
+	// enumerate multi-hop chains up to that depth with a beam search
+	// over the ranked single-hop relays, scored in the same table under
+	// the same hysteresis.
 	MaxHops int
 	// ChainCandidates bounds chain enumeration when MaxHops >= 2: the
-	// top-M usable single-hop relays by score form both the first-hop
-	// and second-hop candidate sets, giving at most M*(M-1) chains per
-	// round (default 3). The committed best (or current challenger)
-	// chain is always kept in the probe set even after it falls out of
-	// candidacy, so hysteresis — not enumeration churn — decides when to
-	// leave it.
+	// top-M usable single-hop relays by score form the extension set at
+	// every beam depth, giving at most M*(M-1) two-hop chains (and
+	// M*(M-1)*(M-2) three-hop chains, and so on) per round (default 3).
+	// The committed best (or current challenger) chain is always kept in
+	// the probe set even after it falls out of candidacy, so hysteresis
+	// — not enumeration churn — decides when to leave it.
 	ChainCandidates int
 	// ChainPruneFactor prunes hopeless chains before they cost probes:
-	// a candidate pair whose summed single-hop srtts exceed
-	// ChainPruneFactor x the best current path score is skipped
-	// (default 3). The sum of the two access legs is a
+	// a candidate whose summed single-hop srtts exceed
+	// ChainPruneFactor x the best current route score is skipped
+	// (default 3). The sum of the access legs is a
 	// triangle-inequality-flavored floor on what the chain must beat;
 	// the generous slack matters because congestion and routing policy
 	// violate the geometric triangle inequality routinely — that
 	// violation is exactly the win CRONets chases — so only grossly
-	// hopeless pairs are dropped. Negative disables pruning.
+	// hopeless candidates are dropped. Negative disables pruning.
 	ChainPruneFactor float64
 	// Dialer overrides the probe dialer (tests).
 	Dialer relay.Dialer
@@ -156,8 +103,8 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// Monitor continuously probes the candidate paths and publishes a ranked
-// table plus a hysteresis-damped best path.
+// Monitor continuously probes the candidate routes and publishes a ranked
+// table plus a hysteresis-damped best route.
 type Monitor struct {
 	cfg Config
 	// now is the clock, injectable by tests.
@@ -178,16 +125,17 @@ type Monitor struct {
 	scope       *obs.Scope
 
 	mu     sync.Mutex
-	order  []Path // stable probe order: direct, then fleet
-	chains []Path // current two-hop candidates, rebuilt each round
-	states map[Path]*pathState
-	best   Path
-	chosen bool // a best path has been selected
+	order  []Route        // stable probe order: direct, then fleet
+	static map[Route]bool // membership set of order
+	chains []Route        // dynamic probe set (beam candidates + pins), rebuilt each round
+	states map[Route]*pathState
+	best   Route
+	chosen bool // a best route has been selected
 	// challenger/streak implement switch hysteresis.
-	challenger    Path
+	challenger    Route
 	streak        int
 	roundsDone    int64
-	lastRankFirst Path
+	lastRankFirst Route
 	// subs are ranking-change subscribers (connection pools, dashboards):
 	// each gets a coalesced wakeup after every integrated round or pin.
 	subs map[chan struct{}]struct{}
@@ -240,8 +188,6 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.MaxHops < 1 {
 		cfg.MaxHops = 1
-	} else if cfg.MaxHops > 2 {
-		cfg.MaxHops = 2
 	}
 	if cfg.ChainCandidates <= 0 {
 		cfg.ChainCandidates = 3
@@ -257,16 +203,18 @@ func New(cfg Config) (*Monitor, error) {
 	m := &Monitor{
 		cfg:    cfg,
 		now:    time.Now,
-		states: make(map[Path]*pathState),
+		states: make(map[Route]*pathState),
+		static: make(map[Route]bool),
 		stopc:  make(chan struct{}),
 		subs:   make(map[chan struct{}]struct{}),
 	}
 	m.order = append(m.order, Direct)
 	for _, r := range cfg.Fleet {
-		m.order = append(m.order, Path{Relay: r})
+		m.order = append(m.order, MakeRoute(r))
 	}
 	for _, p := range m.order {
-		m.states[p] = &pathState{path: p}
+		m.static[p] = true
+		m.states[p] = &pathState{route: p}
 	}
 	m.instrument(cfg.Obs)
 	return m, nil
@@ -323,34 +271,34 @@ func (m *Monitor) loop() {
 	}
 }
 
-// probeResult is one path's outcome in a round.
+// probeResult is one route's outcome in a round.
 type probeResult struct {
-	path Path
-	rtt  time.Duration // round average on success
-	mbps float64       // optional burst result
-	err  error
+	route Route
+	rtt   time.Duration // round average on success
+	mbps  float64       // optional burst result
+	err   error
 }
 
-// ProbeRound measures every candidate path once, concurrently, and folds
-// the results into the ranked table. Each path's dial + probes share one
+// ProbeRound measures every candidate route once, concurrently, and folds
+// the results into the ranked table. Each route's dial + probes share one
 // ProbeTimeout budget, so the round completes within roughly one timeout
 // even if every relay is dead. With MaxHops >= 2 the round also probes
-// the current two-hop chain candidates (enumerated from the previous
+// the current multi-hop chain candidates (enumerated from the previous
 // round's single-hop estimates — chains appear from the second round).
 // Exported for on-demand probing (tests, warm-up before serving).
 func (m *Monitor) ProbeRound(ctx context.Context) {
 	m.mu.Lock()
-	paths := make([]Path, 0, len(m.order)+len(m.chains))
-	paths = append(paths, m.order...)
-	paths = append(paths, m.chains...)
+	routes := make([]Route, 0, len(m.order)+len(m.chains))
+	routes = append(routes, m.order...)
+	routes = append(routes, m.chains...)
 	m.mu.Unlock()
-	results := make([]probeResult, len(paths))
+	results := make([]probeResult, len(routes))
 	var wg sync.WaitGroup
-	for i, p := range paths {
+	for i, p := range routes {
 		wg.Add(1)
-		go func(i int, p Path) {
+		go func(i int, p Route) {
 			defer wg.Done()
-			results[i] = m.probePath(ctx, p)
+			results[i] = m.probeRoute(ctx, p)
 		}(i, p)
 	}
 	wg.Wait()
@@ -363,38 +311,37 @@ func (m *Monitor) ProbeRound(ctx context.Context) {
 	m.integrate(results, m.now())
 }
 
-// dialPath opens one measurement connection over a path: a direct dial,
-// a single-relay CONNECT, or a two-hop chain dial. The context's
-// deadline governs every leg.
-func (m *Monitor) dialPath(ctx context.Context, p Path) (net.Conn, error) {
-	switch {
-	case p.IsDirect():
+// dialRoute opens one measurement connection over a route — the same
+// seam for every depth: the zero-hop route is a plain direct dial, any
+// deeper route is a chain dial (one CONNECT per hop; one hop is exactly
+// the classic single-relay path). The context's deadline governs every
+// leg.
+func (m *Monitor) dialRoute(ctx context.Context, r Route) (net.Conn, error) {
+	hops := r.Hops()
+	if len(hops) == 0 {
 		return m.cfg.Dialer.DialContext(ctx, "tcp", m.cfg.DirectAddr)
-	case p.IsChain():
-		return chain.Dial(ctx, p.Hops(), m.cfg.Dest, chain.Options{Dialer: m.cfg.Dialer})
-	default:
-		return relay.DialVia(ctx, m.cfg.Dialer, p.Relay, m.cfg.Dest)
 	}
+	return chain.Dial(ctx, hops, m.cfg.Dest, chain.Options{Dialer: m.cfg.Dialer})
 }
 
-// probePath runs one path's round: dial (direct, via relay, or down a
-// chain), RTT echo probes, optional throughput burst.
-func (m *Monitor) probePath(ctx context.Context, p Path) probeResult {
+// probeRoute runs one route's round: dial, RTT echo probes, optional
+// throughput burst.
+func (m *Monitor) probeRoute(ctx context.Context, p Route) probeResult {
 	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
 	defer cancel()
 	m.probes.Inc()
 
-	conn, err := m.dialPath(ctx, p)
+	conn, err := m.dialRoute(ctx, p)
 	if err != nil {
-		return probeResult{path: p, err: fmt.Errorf("dial: %w", err)}
+		return probeResult{route: p, err: fmt.Errorf("dial: %w", err)}
 	}
 	defer conn.Close()
 
 	stats, err := measure.ProbeRTTContext(ctx, conn, m.cfg.ProbeCount, m.rttHist)
 	if err != nil {
-		return probeResult{path: p, err: fmt.Errorf("probe: %w", err)}
+		return probeResult{route: p, err: fmt.Errorf("probe: %w", err)}
 	}
-	res := probeResult{path: p, rtt: stats.Avg}
+	res := probeResult{route: p, rtt: stats.Avg}
 	if m.cfg.BurstDuration > 0 {
 		// Burst on a fresh connection so echo-mode state does not leak
 		// into sink mode; failure here degrades to "no burst data".
@@ -405,9 +352,9 @@ func (m *Monitor) probePath(ctx context.Context, p Path) probeResult {
 	return res
 }
 
-// burst runs the optional short throughput burst for a path.
-func (m *Monitor) burst(ctx context.Context, p Path) (float64, error) {
-	conn, err := m.dialPath(ctx, p)
+// burst runs the optional short throughput burst for a route.
+func (m *Monitor) burst(ctx context.Context, p Route) (float64, error) {
+	conn, err := m.dialRoute(ctx, p)
 	if err != nil {
 		return 0, err
 	}
@@ -434,7 +381,7 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 	m.rounds.Inc()
 
 	for _, r := range results {
-		st := m.states[r.path]
+		st := m.states[r.route]
 		if st == nil {
 			continue
 		}
@@ -442,7 +389,7 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 			st.observeFailure()
 			reason := failReason(r.err)
 			m.failCounter(reason).Inc()
-			m.scope.Event(obs.EventProbe, fmt.Sprintf("%s fail (%s): %v", r.path, reason, r.err))
+			m.scope.Event(obs.EventProbe, fmt.Sprintf("%s fail (%s): %v", r.route, reason, r.err))
 			continue
 		}
 		st.observe(r.rtt, m.cfg.Alpha, now)
@@ -457,7 +404,7 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 		// even if probes fail — don't thrash on a probe outage).
 		return
 	}
-	leader := ranked[0].Path
+	leader := ranked[0].Route
 	if leader != m.lastRankFirst {
 		m.lastRankFirst = leader
 		m.scope.Event(obs.EventRankChange,
@@ -484,13 +431,13 @@ func (m *Monitor) integrate(results []probeResult, now time.Time) {
 		return
 	}
 	if leader == m.best {
-		m.challenger, m.streak = Path{}, 0
+		m.challenger, m.streak = Route{}, 0
 		return
 	}
 	incScore := incumbent.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold)
 	if ranked[0].Score >= incScore*(1-m.cfg.SwitchMargin) {
 		// Leads, but not by enough margin to count toward a switch.
-		m.challenger, m.streak = Path{}, 0
+		m.challenger, m.streak = Route{}, 0
 		return
 	}
 	if leader == m.challenger {
@@ -543,88 +490,123 @@ func (m *Monitor) failCounter(reason string) *obs.Counter {
 	}
 }
 
-// rebuildChainsLocked recomputes the two-hop candidate set from the
-// round's single-hop estimates: the top-ChainCandidates usable relays
-// form both hop sets, ordered pairs (a != b) are enumerated, and pairs
-// whose summed single-hop srtts already exceed ChainPruneFactor x the
-// best current score are pruned — the triangle-inequality-flavored floor
-// (a chain cannot undercut its access legs' combined propagation delay)
-// with slack for the congestion-induced violations the overlay exists to
-// exploit. New candidates get fresh states; chains that fall out of
-// candidacy are dropped unless they are the committed best path or the
-// current challenger, which stay probed so hysteresis (not enumeration
-// churn) decides their fate. Caller holds m.mu.
+// rebuildChainsLocked recomputes the multi-hop candidate set from the
+// round's single-hop estimates with a beam search over depth <= MaxHops:
+// the top-ChainCandidates usable relays seed depth 1, and each deeper
+// level extends every surviving candidate by one ranked relay it does
+// not already cross. A candidate whose summed single-hop srtts already
+// exceed ChainPruneFactor x the best current score is pruned — the
+// triangle-inequality-flavored floor (a chain cannot undercut its access
+// legs' combined propagation delay) with slack for the
+// congestion-induced violations the overlay exists to exploit; each
+// level is additionally capped at ChainCandidates^2 survivors (lowest
+// srtt-sum first) so deep searches stay bounded. New candidates get
+// fresh states; chains that fall out of candidacy are dropped unless
+// they are the committed best route or the current challenger, which
+// stay probed so hysteresis (not enumeration churn) decides their fate.
+// Caller holds m.mu.
 func (m *Monitor) rebuildChainsLocked(now time.Time) {
-	if m.cfg.MaxHops < 2 {
-		return
-	}
-	type single struct {
-		p     Path
-		score float64
-		srtt  float64
-	}
-	best := math.Inf(1)
-	singles := make([]single, 0, len(m.order))
-	for _, p := range m.order {
-		st := m.states[p]
-		score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold)
-		if score < best {
-			best = score
+	want := make(map[Route]bool)
+	var chains []Route
+	pruned, nSingles := 0, 0
+	if m.cfg.MaxHops >= 2 {
+		type single struct {
+			relay string
+			score float64
+			srtt  float64
 		}
-		if p.IsDirect() || st.down(m.cfg.FailThreshold) {
-			continue
-		}
-		singles = append(singles, single{p: p, score: score, srtt: st.srtt})
-	}
-	// Chains can themselves hold the best score; they only tighten the
-	// pruning bound, never loosen it.
-	for _, p := range m.chains {
-		if st := m.states[p]; st != nil {
-			if score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold); score < best {
+		best := math.Inf(1)
+		singles := make([]single, 0, len(m.order))
+		for _, p := range m.order {
+			st := m.states[p]
+			score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold)
+			if score < best {
 				best = score
 			}
+			if p.IsDirect() || st.down(m.cfg.FailThreshold) {
+				continue
+			}
+			singles = append(singles, single{relay: p.First(), score: score, srtt: st.srtt})
 		}
-	}
-	sort.SliceStable(singles, func(i, j int) bool { return singles[i].score < singles[j].score })
-	if len(singles) > m.cfg.ChainCandidates {
-		singles = singles[:m.cfg.ChainCandidates]
-	}
+		// Chains can themselves hold the best score; they only tighten the
+		// pruning bound, never loosen it.
+		for _, p := range m.chains {
+			if st := m.states[p]; st != nil {
+				if score := st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold); score < best {
+					best = score
+				}
+			}
+		}
+		sort.SliceStable(singles, func(i, j int) bool { return singles[i].score < singles[j].score })
+		if len(singles) > m.cfg.ChainCandidates {
+			singles = singles[:m.cfg.ChainCandidates]
+		}
+		nSingles = len(singles)
 
-	want := make(map[Path]bool, len(singles)*len(singles))
-	chains := make([]Path, 0, len(singles)*len(singles))
-	pruned := 0
-	for _, a := range singles {
-		for _, b := range singles {
-			if a.p.Relay == b.p.Relay {
-				continue
+		// The beam: level d holds the surviving depth-d hop lists with
+		// their srtt sums; level 1 is the ranked singles themselves.
+		type cand struct {
+			hops []string
+			sum  float64
+		}
+		level := make([]cand, 0, len(singles))
+		for _, s := range singles {
+			level = append(level, cand{hops: []string{s.relay}, sum: s.srtt})
+		}
+		beamWidth := m.cfg.ChainCandidates * m.cfg.ChainCandidates
+		for depth := 2; depth <= m.cfg.MaxHops && len(level) > 0; depth++ {
+			next := make([]cand, 0, len(level)*len(singles))
+			for _, c := range level {
+				for _, s := range singles {
+					if containsHop(c.hops, s.relay) {
+						continue
+					}
+					sum := c.sum + s.srtt
+					if m.cfg.ChainPruneFactor > 0 && !math.IsInf(best, 1) &&
+						sum > m.cfg.ChainPruneFactor*best {
+						pruned++
+						continue
+					}
+					hops := make([]string, len(c.hops)+1)
+					copy(hops, c.hops)
+					hops[len(c.hops)] = s.relay
+					next = append(next, cand{hops: hops, sum: sum})
+				}
 			}
-			if m.cfg.ChainPruneFactor > 0 && !math.IsInf(best, 1) &&
-				a.srtt+b.srtt > m.cfg.ChainPruneFactor*best {
-				pruned++
-				continue
+			sort.SliceStable(next, func(i, j int) bool { return next[i].sum < next[j].sum })
+			if len(next) > beamWidth {
+				pruned += len(next) - beamWidth
+				next = next[:beamWidth]
 			}
-			c := Path{Relay: a.p.Relay, Via: b.p.Relay}
-			want[c] = true
-			chains = append(chains, c)
+			for _, c := range next {
+				r := MakeRoute(c.hops...)
+				if !want[r] {
+					want[r] = true
+					chains = append(chains, r)
+				}
+			}
+			level = next
 		}
 	}
-	// Never stop probing the incumbent or the challenger mid-hysteresis.
-	for _, keep := range []Path{m.best, m.challenger} {
-		if keep.IsChain() && !want[keep] {
-			want[keep] = true
-			chains = append(chains, keep)
+	// Never stop probing the incumbent or the challenger mid-hysteresis —
+	// including pinned routes outside the static set, at any depth.
+	for _, keep := range []Route{m.best, m.challenger} {
+		if keep.IsDirect() || m.static[keep] || want[keep] {
+			continue
 		}
+		want[keep] = true
+		chains = append(chains, keep)
 	}
 
 	changed := len(chains) != len(m.chains)
 	for _, c := range chains {
 		if m.states[c] == nil {
-			m.states[c] = &pathState{path: c}
+			m.states[c] = &pathState{route: c}
 			changed = true
 		}
 	}
 	for p := range m.states {
-		if p.IsChain() && !want[p] {
+		if !m.static[p] && !want[p] {
 			delete(m.states, p)
 			changed = true
 		}
@@ -633,22 +615,33 @@ func (m *Monitor) rebuildChainsLocked(now time.Time) {
 	if changed {
 		m.scope.Event(obs.EventChainCandidates,
 			fmt.Sprintf("%d chain(s) from %d single-hop candidate(s), %d pruned",
-				len(chains), len(singles), pruned))
+				len(chains), nSingles, pruned))
 	}
 }
 
-// commitSwitch moves the best path. Caller holds m.mu.
-func (m *Monitor) commitSwitch(to Path, why string) {
+// containsHop reports whether hops already crosses relay — beam
+// extensions never revisit a relay.
+func containsHop(hops []string, relay string) bool {
+	for _, h := range hops {
+		if h == relay {
+			return true
+		}
+	}
+	return false
+}
+
+// commitSwitch moves the best route. Caller holds m.mu.
+func (m *Monitor) commitSwitch(to Route, why string) {
 	from := m.best
 	m.best = to
-	m.challenger, m.streak = Path{}, 0
+	m.challenger, m.streak = Route{}, 0
 	m.switches.Inc()
 	m.setBestGauge()
 	m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("%s -> %s (%s)", from, to, why))
 }
 
-// setBestGauge mirrors the best path's kind into the gauge. Caller holds
-// m.mu.
+// setBestGauge mirrors the best route's kind into the gauge. Caller
+// holds m.mu.
 func (m *Monitor) setBestGauge() {
 	if m.best.IsDirect() {
 		m.bestDirec.Set(1)
@@ -660,15 +653,15 @@ func (m *Monitor) setBestGauge() {
 // rankLocked builds the score-sorted table over every candidate — the
 // static set (direct + fleet) and the current chain candidates. Caller
 // holds m.mu.
-func (m *Monitor) rankLocked(now time.Time) []PathStatus {
-	out := make([]PathStatus, 0, len(m.order)+len(m.chains))
-	for _, p := range append(append([]Path(nil), m.order...), m.chains...) {
+func (m *Monitor) rankLocked(now time.Time) []RouteStatus {
+	out := make([]RouteStatus, 0, len(m.order)+len(m.chains))
+	for _, p := range append(append([]Route(nil), m.order...), m.chains...) {
 		st := m.states[p]
 		if st == nil {
 			continue
 		}
-		out = append(out, PathStatus{
-			Path:       p,
+		out = append(out, RouteStatus{
+			Route:      p,
 			Score:      st.score(now, m.cfg.StaleAfter, m.cfg.FailThreshold),
 			SRTT:       time.Duration(st.srtt * float64(time.Second)),
 			RTTVar:     time.Duration(st.rttvar * float64(time.Second)),
@@ -684,15 +677,21 @@ func (m *Monitor) rankLocked(now time.Time) []PathStatus {
 	return out
 }
 
-// Pin forces the best path — an operator override (or test hook). The
-// pin holds until a later round's hysteresis commits a switch away from
-// it, exactly as if the monitor had chosen the path itself.
-func (m *Monitor) Pin(p Path) {
+// Pin forces the best route — an operator override (or test hook). Any
+// depth is accepted, including routes outside the current candidate set:
+// a pinned route gets a state and a probe-set slot, and the pin holds
+// until a later round's hysteresis commits a switch away from it,
+// exactly as if the monitor had chosen the route itself.
+func (m *Monitor) Pin(p Route) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.best = p
 	m.chosen = true
-	m.challenger, m.streak = Path{}, 0
+	m.challenger, m.streak = Route{}, 0
+	if m.states[p] == nil {
+		m.states[p] = &pathState{route: p}
+		m.chains = append(m.chains, p)
+	}
 	m.setBestGauge()
 	m.scope.Event(obs.EventPathSwitch, fmt.Sprintf("pinned %s", p))
 	m.notifyLocked()
@@ -726,17 +725,17 @@ func (m *Monitor) notifyLocked() {
 	}
 }
 
-// Best returns the current best path and whether one has been selected
+// Best returns the current best route and whether one has been selected
 // yet (false until the first round with a usable result).
-func (m *Monitor) Best() (Path, bool) {
+func (m *Monitor) Best() (Route, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.best, m.chosen
 }
 
-// Ranked returns the current path table sorted best-first. Down paths
+// Ranked returns the current route table sorted best-first. Down routes
 // sort last (score +Inf).
-func (m *Monitor) Ranked() []PathStatus {
+func (m *Monitor) Ranked() []RouteStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.rankLocked(m.now())

@@ -36,22 +36,22 @@ func switches(reg *obs.Registry) int64 {
 
 // round feeds one synthetic probe round. rtts maps path -> RTT; a
 // negative RTT means the probe failed; absent paths are not probed.
-func round(m *Monitor, now time.Time, rtts map[Path]time.Duration) {
+func round(m *Monitor, now time.Time, rtts map[Route]time.Duration) {
 	var results []probeResult
 	for p, rtt := range rtts {
 		if rtt < 0 {
-			results = append(results, probeResult{path: p, err: context.DeadlineExceeded})
+			results = append(results, probeResult{route: p, err: context.DeadlineExceeded})
 		} else {
-			results = append(results, probeResult{path: p, rtt: rtt})
+			results = append(results, probeResult{route: p, rtt: rtt})
 		}
 	}
 	m.integrate(results, now)
 }
 
 func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
-	relayA := Path{Relay: "relay-a:9000"}
+	relayA := MakeRoute("relay-a:9000")
 	m, reg := synthMonitor(t, Config{
-		Fleet:        []string{relayA.Relay},
+		Fleet:        []string{relayA.First()},
 		Alpha:        1,
 		SwitchMargin: 0.1,
 		SwitchRounds: 2,
@@ -60,8 +60,8 @@ func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
 	tick := func() time.Time { now = now.Add(time.Second); return now }
 
 	// Two warm-up rounds make direct the incumbent.
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 120 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 120 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 120 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 120 * time.Millisecond})
 	if best, ok := m.Best(); !ok || best != Direct {
 		t.Fatalf("initial best = %v (%v), want direct", best, ok)
 	}
@@ -72,7 +72,7 @@ func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
 	// The relay now leads, but inside the 10%% margin (91 vs 100): the
 	// monitor must hold the incumbent no matter how long this persists.
 	for i := 0; i < 25; i++ {
-		round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 91 * time.Millisecond})
+		round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 91 * time.Millisecond})
 	}
 	if best, _ := m.Best(); best != Direct {
 		t.Fatalf("flapped to %v on a within-margin lead", best)
@@ -85,10 +85,10 @@ func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
 	// still no switch. (With Alpha=1 the first round at a new value
 	// carries a variance spike, so the streak only starts on the second
 	// consecutive 70 ms round — one short of K=2 — before 95 ms resets it.)
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 95 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 95 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 95 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 95 * time.Millisecond})
 	if n := switches(reg); n != 0 {
 		t.Fatalf("switched after a below-K streak (switches = %d)", n)
 	}
@@ -97,9 +97,9 @@ func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
 	}
 
 	// Beat the margin for K consecutive rounds: exactly one switch.
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 100 * time.Millisecond, relayA: 70 * time.Millisecond})
 	if best, _ := m.Best(); best != relayA {
 		t.Fatalf("best = %v after a sustained margin beat, want %v", best, relayA)
 	}
@@ -109,9 +109,9 @@ func TestHysteresisNoFlapAtMarginBoundary(t *testing.T) {
 }
 
 func TestHysteresisBoundedConvergenceAfterStep(t *testing.T) {
-	relayA := Path{Relay: "relay-a:9000"}
+	relayA := MakeRoute("relay-a:9000")
 	m, reg := synthMonitor(t, Config{
-		Fleet:        []string{relayA.Relay},
+		Fleet:        []string{relayA.First()},
 		Alpha:        0.3,
 		SwitchMargin: 0.1,
 		SwitchRounds: 3,
@@ -121,7 +121,7 @@ func TestHysteresisBoundedConvergenceAfterStep(t *testing.T) {
 
 	// Steady state: direct clearly best.
 	for i := 0; i < 5; i++ {
-		round(m, tick(), map[Path]time.Duration{Direct: 20 * time.Millisecond, relayA: 50 * time.Millisecond})
+		round(m, tick(), map[Route]time.Duration{Direct: 20 * time.Millisecond, relayA: 50 * time.Millisecond})
 	}
 	if best, _ := m.Best(); best != Direct {
 		t.Fatalf("steady-state best = %v, want direct", best)
@@ -132,7 +132,7 @@ func TestHysteresisBoundedConvergenceAfterStep(t *testing.T) {
 	const maxRounds = 10
 	switched := -1
 	for i := 1; i <= maxRounds; i++ {
-		round(m, tick(), map[Path]time.Duration{Direct: 200 * time.Millisecond, relayA: 50 * time.Millisecond})
+		round(m, tick(), map[Route]time.Duration{Direct: 200 * time.Millisecond, relayA: 50 * time.Millisecond})
 		if best, _ := m.Best(); best == relayA {
 			switched = i
 			break
@@ -151,9 +151,9 @@ func TestHysteresisBoundedConvergenceAfterStep(t *testing.T) {
 }
 
 func TestIncumbentDownSwitchesImmediately(t *testing.T) {
-	relayA := Path{Relay: "relay-a:9000"}
+	relayA := MakeRoute("relay-a:9000")
 	m, reg := synthMonitor(t, Config{
-		Fleet:         []string{relayA.Relay},
+		Fleet:         []string{relayA.First()},
 		Alpha:         1,
 		SwitchRounds:  5, // hysteresis must NOT delay a dead-incumbent switch
 		FailThreshold: 2,
@@ -161,15 +161,15 @@ func TestIncumbentDownSwitchesImmediately(t *testing.T) {
 	now := time.Unix(1000, 0)
 	tick := func() time.Time { now = now.Add(time.Second); return now }
 
-	round(m, tick(), map[Path]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
 	if best, _ := m.Best(); best != Direct {
 		t.Fatalf("best = %v, want direct", best)
 	}
 
 	// Two consecutive probe failures hit FailThreshold: immediate switch.
-	round(m, tick(), map[Path]time.Duration{Direct: -1, relayA: 40 * time.Millisecond})
-	round(m, tick(), map[Path]time.Duration{Direct: -1, relayA: 40 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: -1, relayA: 40 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: -1, relayA: 40 * time.Millisecond})
 	if best, _ := m.Best(); best != relayA {
 		t.Fatalf("best = %v after incumbent died, want %v", best, relayA)
 	}
@@ -179,16 +179,16 @@ func TestIncumbentDownSwitchesImmediately(t *testing.T) {
 
 	// One success brings the direct path back into contention, but it
 	// must re-earn the lead through hysteresis, not snap back.
-	round(m, tick(), map[Path]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
+	round(m, tick(), map[Route]time.Duration{Direct: 10 * time.Millisecond, relayA: 40 * time.Millisecond})
 	if best, _ := m.Best(); best != relayA {
 		t.Fatalf("snapped back to %v without hysteresis", best)
 	}
 }
 
 func TestStalenessInflatesScore(t *testing.T) {
-	relayA := Path{Relay: "relay-a:9000"}
+	relayA := MakeRoute("relay-a:9000")
 	m, _ := synthMonitor(t, Config{
-		Fleet:      []string{relayA.Relay},
+		Fleet:      []string{relayA.First()},
 		Alpha:      1,
 		Interval:   time.Second,
 		StaleAfter: 3 * time.Second,
@@ -197,29 +197,29 @@ func TestStalenessInflatesScore(t *testing.T) {
 
 	// Relay measured once, slightly better than direct; then only the
 	// direct path keeps answering.
-	round(m, now, map[Path]time.Duration{Direct: 50 * time.Millisecond, relayA: 40 * time.Millisecond})
+	round(m, now, map[Route]time.Duration{Direct: 50 * time.Millisecond, relayA: 40 * time.Millisecond})
 	for i := 1; i <= 30; i++ {
-		round(m, now.Add(time.Duration(i)*time.Second), map[Path]time.Duration{Direct: 50 * time.Millisecond})
+		round(m, now.Add(time.Duration(i)*time.Second), map[Route]time.Duration{Direct: 50 * time.Millisecond})
 	}
 	m.now = func() time.Time { return now.Add(30 * time.Second) }
 	ranked := m.Ranked()
-	if ranked[0].Path != Direct {
-		t.Fatalf("fresh path ranked %v; stale relay still leads: %+v", ranked[0].Path, ranked)
+	if ranked[0].Route != Direct {
+		t.Fatalf("fresh path ranked %v; stale relay still leads: %+v", ranked[0].Route, ranked)
 	}
-	if ranked[1].Path != relayA || ranked[1].Score <= ranked[0].Score {
+	if ranked[1].Route != relayA || ranked[1].Score <= ranked[0].Score {
 		t.Fatalf("stale relay score did not inflate: %+v", ranked)
 	}
 }
 
 func TestRankedMarksDownPaths(t *testing.T) {
-	relayA := Path{Relay: "relay-a:9000"}
-	m, _ := synthMonitor(t, Config{Fleet: []string{relayA.Relay}, Alpha: 1, FailThreshold: 2})
+	relayA := MakeRoute("relay-a:9000")
+	m, _ := synthMonitor(t, Config{Fleet: []string{relayA.First()}, Alpha: 1, FailThreshold: 2})
 	now := time.Unix(1000, 0)
-	round(m, now, map[Path]time.Duration{Direct: 10 * time.Millisecond, relayA: -1})
-	round(m, now.Add(time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond, relayA: -1})
+	round(m, now, map[Route]time.Duration{Direct: 10 * time.Millisecond, relayA: -1})
+	round(m, now.Add(time.Second), map[Route]time.Duration{Direct: 10 * time.Millisecond, relayA: -1})
 	m.now = func() time.Time { return now.Add(time.Second) }
 	ranked := m.Ranked()
-	if ranked[0].Path != Direct || ranked[0].Down {
+	if ranked[0].Route != Direct || ranked[0].Down {
 		t.Fatalf("direct should rank first and be up: %+v", ranked)
 	}
 	if !ranked[1].Down || !math.IsInf(ranked[1].Score, 1) {
@@ -275,9 +275,9 @@ func TestLiveProbing(t *testing.T) {
 	var sawDirect, sawRelay, sawDead bool
 	for _, st := range m.Ranked() {
 		switch {
-		case st.Path == Direct:
+		case st.Route == Direct:
 			sawDirect = st.Samples > 0 && !st.Down
-		case st.Path.Relay == deadAddr:
+		case st.Route.First() == deadAddr:
 			sawDead = st.Down
 		default:
 			sawRelay = st.Samples > 0 && !st.Down
@@ -313,7 +313,7 @@ func TestSubscribeNotifiesOnRoundsAndPin(t *testing.T) {
 		}
 	}
 
-	round(m, now, map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	round(m, now, map[Route]time.Duration{Direct: 10 * time.Millisecond})
 	if !drain() {
 		t.Fatal("no notification after an integrated round")
 	}
@@ -322,21 +322,21 @@ func TestSubscribeNotifiesOnRoundsAndPin(t *testing.T) {
 	}
 
 	// Two quick rounds coalesce into at least one wakeup.
-	round(m, now.Add(time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
-	round(m, now.Add(2*time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	round(m, now.Add(time.Second), map[Route]time.Duration{Direct: 10 * time.Millisecond})
+	round(m, now.Add(2*time.Second), map[Route]time.Duration{Direct: 10 * time.Millisecond})
 	if !drain() {
 		t.Fatal("no notification after two rounds")
 	}
 
 	for drain() {
 	}
-	m.Pin(Path{Relay: "r1:1"})
+	m.Pin(MakeRoute("r1:1"))
 	if !drain() {
 		t.Fatal("no notification after Pin")
 	}
 
 	unsub()
-	round(m, now.Add(3*time.Second), map[Path]time.Duration{Direct: 10 * time.Millisecond})
+	round(m, now.Add(3*time.Second), map[Route]time.Duration{Direct: 10 * time.Millisecond})
 	if drain() {
 		t.Fatal("notification delivered after unsubscribe")
 	}

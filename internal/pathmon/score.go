@@ -11,10 +11,10 @@ import (
 	"time"
 )
 
-// pathState is one candidate path's running estimate. All fields are
+// pathState is one candidate route's running estimate. All fields are
 // guarded by the Monitor's mutex.
 type pathState struct {
-	path Path
+	route Route
 
 	// srtt and rttvar are EWMA estimates of the path RTT and its mean
 	// absolute deviation, in seconds.
@@ -74,9 +74,9 @@ func (s *pathState) score(now time.Time, staleAfter time.Duration, failThreshold
 	return base
 }
 
-// PathStatus is one row of the ranked path table.
-type PathStatus struct {
-	Path Path
+// RouteStatus is one row of the ranked route table.
+type RouteStatus struct {
+	Route Route
 	// Score is the current routing metric in seconds (+Inf when down).
 	Score float64
 	// SRTT and RTTVar are the smoothed RTT estimate and its deviation.
@@ -87,10 +87,10 @@ type PathStatus struct {
 	Samples int
 	// Fails is the current consecutive-failure streak.
 	Fails int
-	// Down reports the path is out of contention.
+	// Down reports the route is out of contention.
 	Down bool
-	// Best marks the path currently carrying new connections.
+	// Best marks the route currently carrying new connections.
 	Best bool
-	// LastSample is when the path last answered a probe.
+	// LastSample is when the route last answered a probe.
 	LastSample time.Time
 }
