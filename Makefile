@@ -2,7 +2,10 @@
 #
 #   make build        compile everything
 #   make test         tier-1 gate: go build ./... && go test ./...
-#   make test-short   fast inner-loop gate: go test -short ./...
+#   make test-short   fast inner-loop gate: go test -short ./... (skips
+#                     the slow netem e2es in the repo root — control
+#                     plane, warm pool, chains, tracing, failover, and
+#                     objective routing — plus the experiment suite)
 #   make race         race-detector pass over the full tree
 #   make vet          static checks
 #   make lint         go vet plus staticcheck/golangci-lint when installed
@@ -58,7 +61,7 @@ fmt:
 check: fmt vet test race
 
 bench:
-	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive|GatewayDial|ChainDial' -benchmem ./...
+	$(GO) test -run=NONE -bench='PipeBidirectional|RelayThroughput|MultipathReceive|GatewayDial|ChainDial|ProbeRound' -benchmem ./...
 
 # The alloc gate runs without -race (the race runtime adds allocations of
 # its own); the e2e runs with it.

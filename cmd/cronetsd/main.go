@@ -10,7 +10,10 @@
 // monitor continuously probes the direct path and every relay in -fleet
 // toward -target, and the gateway listener fronts -target, steering each
 // new connection onto the current best path (direct or via the best
-// relay) with fallback to the next-ranked path on dial failure.
+// relay) with fallback to the next-ranked path on dial failure. The
+// ranking objective is pluggable (-objective latency|throughput|composite;
+// the throughput axis is fed by -burst-duration bursts on a -burst-every
+// cadence), matching CRONets' bulk-transfer-first path selection.
 //
 // Usage:
 //
@@ -71,6 +74,9 @@ type options struct {
 	fleet         string
 	probeInterval time.Duration
 	probeTarget   string
+	objective     string
+	burstDuration time.Duration
+	burstEvery    int
 	switchMargin  float64
 	switchRounds  int
 	poolSize      int
@@ -97,6 +103,9 @@ func main() {
 	flag.StringVar(&o.fleet, "fleet", "", "comma-separated relay CONNECT endpoints the gateway's monitor probes")
 	flag.DurationVar(&o.probeInterval, "probe-interval", 5*time.Second, "gateway path-probe round period")
 	flag.StringVar(&o.probeTarget, "probe-target", "", "destination probe endpoint, a measure server (default: -target)")
+	flag.StringVar(&o.objective, "objective", "latency", "route-ranking objective: latency, throughput, or composite (throughput/composite need -burst-duration > 0)")
+	flag.DurationVar(&o.burstDuration, "burst-duration", 0, "throughput-burst measurement window per route (0 = bursts off)")
+	flag.IntVar(&o.burstEvery, "burst-every", 1, "rounds between one route's throughput bursts")
 	flag.Float64Var(&o.switchMargin, "switch-margin", 0.1, "fraction a challenger path must beat the incumbent by")
 	flag.IntVar(&o.switchRounds, "switch-rounds", 3, "consecutive qualifying rounds before a path switch")
 	flag.IntVar(&o.poolSize, "pool-size", 0, "pre-warmed relay connections per relay the gateway keeps (0 = pooling off)")
@@ -214,6 +223,10 @@ func runGateway(o options) error {
 			}
 		}
 	}
+	objective, err := pathmon.ParseObjective(o.objective)
+	if err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
 	pipe.InstrumentPool(reg)
 	tracer := newTracer(o, "gateway", reg)
@@ -222,6 +235,9 @@ func runGateway(o options) error {
 		Dest:            probeTarget,
 		Fleet:           fleet,
 		Interval:        o.probeInterval,
+		Objective:       objective,
+		BurstDuration:   o.burstDuration,
+		BurstEvery:      o.burstEvery,
 		SwitchMargin:    o.switchMargin,
 		SwitchRounds:    o.switchRounds,
 		MaxHops:         o.maxHops,
@@ -254,7 +270,8 @@ func runGateway(o options) error {
 	}
 	slog.Info("cronetsd gateway listening", "addr", ln.Addr().String(),
 		"dest", o.target, "probe_target", probeTarget,
-		"fleet", strings.Join(fleet, ","), "probe_interval", o.probeInterval.String())
+		"fleet", strings.Join(fleet, ","), "probe_interval", o.probeInterval.String(),
+		"objective", objective.String())
 
 	if o.metricsAddr != "" {
 		msrv, err := serveMetrics(o.metricsAddr, reg, tracer, mon)

@@ -52,9 +52,13 @@ type Config struct {
 	// pinned or ranked.
 	TopK int
 	// IdleTTL is the maximum idle age of a pooled connection before the
-	// pool retires it (default 60 s). Keep it under the relay fleet's
-	// pre-CONNECT tolerance (the relay side allows its IdleTimeout,
-	// 5 min by default).
+	// pool retires it (default 60 s). Idle age is measured from the
+	// moment the connection was parked in the pool (not from when the
+	// dial started), and a checkout permanently removes the connection
+	// from the pool — there is no put-back path, so a connection idles
+	// exactly once and idle age equals pool-resident age. Keep the TTL
+	// under the relay fleet's pre-CONNECT tolerance (the relay side
+	// allows its IdleTimeout, 5 min by default).
 	IdleTTL time.Duration
 	// FillInterval is the background filler period — the TTL-expiry and
 	// re-warm cadence between ranking wakeups (default 1 s).
@@ -78,6 +82,8 @@ type Config struct {
 // concurrent use.
 type Pool struct {
 	cfg Config
+	// now is the clock, injectable by TTL tests.
+	now func() time.Time
 
 	hits       *obs.Counter
 	misses     *obs.Counter
@@ -94,15 +100,28 @@ type Pool struct {
 	wg    sync.WaitGroup
 }
 
-// pooledConn is one warm socket plus its birth time for TTL expiry.
+// pooledConn is one warm socket plus the instant it was parked in the
+// pool, from which IdleTTL expiry is measured. Checkouts remove the
+// connection for good (flows own their sockets; nothing is put back), so
+// time-since-parkedAt is both the idle age and the total pool-resident
+// age — one timestamp serves both readings.
 type pooledConn struct {
-	conn net.Conn
-	born time.Time
+	conn     net.Conn
+	parkedAt time.Time
 }
 
 // New creates a Pool and starts its background filler (which immediately
 // runs one warming pass). Close releases everything.
 func New(cfg Config) *Pool {
+	p := newPool(cfg)
+	p.wg.Add(1)
+	go p.filler()
+	return p
+}
+
+// newPool builds a Pool without starting the background filler — tests
+// drive Fill directly under an injected clock.
+func newPool(cfg Config) *Pool {
 	if cfg.SizePerRelay <= 0 {
 		cfg.SizePerRelay = 2
 	}
@@ -123,13 +142,12 @@ func New(cfg Config) *Pool {
 	}
 	p := &Pool{
 		cfg:   cfg,
+		now:   time.Now,
 		idle:  make(map[string][]*pooledConn),
 		fillc: make(chan struct{}, 1),
 		stopc: make(chan struct{}),
 	}
 	p.instrument(cfg.Obs)
-	p.wg.Add(1)
-	go p.filler()
 	return p
 }
 
@@ -167,7 +185,7 @@ func (p *Pool) Get(relayAddr string) (net.Conn, bool) {
 		p.idle[relayAddr] = stack[:len(stack)-1]
 		p.mu.Unlock()
 
-		if time.Since(pc.born) > p.cfg.IdleTTL || !alive(pc.conn) {
+		if p.now().Sub(pc.parkedAt) > p.cfg.IdleTTL || !alive(pc.conn) {
 			_ = pc.conn.Close()
 			p.expired.Inc()
 			continue
@@ -263,7 +281,7 @@ func (p *Pool) Fill() {
 	// Phase 1 (under the lock): expire by TTL and drain relays that fell
 	// out of the target set. Connections are closed outside the lock.
 	var retire []*pooledConn
-	now := time.Now()
+	now := p.now()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -273,7 +291,7 @@ func (p *Pool) Fill() {
 		keep := stack[:0]
 		_, wanted := targets[addr]
 		for _, pc := range stack {
-			if !wanted || now.Sub(pc.born) > p.cfg.IdleTTL {
+			if !wanted || now.Sub(pc.parkedAt) > p.cfg.IdleTTL {
 				retire = append(retire, pc)
 			} else {
 				keep = append(keep, pc)
@@ -341,7 +359,7 @@ func (p *Pool) put(addr string, conn net.Conn, targets map[string]int) bool {
 		_ = conn.Close()
 		return true
 	}
-	p.idle[addr] = append(p.idle[addr], &pooledConn{conn: conn, born: time.Now()})
+	p.idle[addr] = append(p.idle[addr], &pooledConn{conn: conn, parkedAt: p.now()})
 	p.mu.Unlock()
 	p.scope.Event(obs.EventPoolWarm, "ok "+addr)
 	return true

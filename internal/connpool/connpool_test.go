@@ -1,6 +1,7 @@
 package connpool
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"cronets/internal/obs"
 	"cronets/internal/pathmon"
+	"cronets/internal/relay"
 )
 
 // acceptServer accepts and holds connections like a CONNECT-mode relay
@@ -328,5 +330,73 @@ func TestCloseRetiresEverything(t *testing.T) {
 	// Idempotent.
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// slowClockDialer advances a fake clock inside every dial, simulating a
+// warm dial that takes `delay` of simulated time to connect.
+type slowClockDialer struct {
+	inner   relay.Dialer
+	advance func(time.Duration)
+	delay   time.Duration
+}
+
+func (d *slowClockDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.advance(d.delay)
+	return d.inner.DialContext(ctx, network, addr)
+}
+
+// TestIdleTTLMeasuredFromParkTime pins the IdleTTL semantics: expiry is
+// measured from the instant a connection is parked in the pool, not from
+// when its warm dial started — a slow dial must not hand the pool a
+// connection that is already half-expired. (Checkouts never return
+// connections to the pool, so park age and idle age are the same thing;
+// this test is the contract for that equivalence.)
+func TestIdleTTLMeasuredFromParkTime(t *testing.T) {
+	srv := newAcceptServer(t)
+	reg := obs.NewRegistry()
+
+	now := time.Unix(1000, 0)
+	adv := func(d time.Duration) { now = now.Add(d) }
+	p := newPool(Config{
+		Relays: []string{srv.addr()}, SizePerRelay: 1, IdleTTL: time.Minute,
+		Dialer: &slowClockDialer{inner: &net.Dialer{}, advance: adv, delay: 45 * time.Second},
+		Obs:    reg,
+	})
+	defer p.Close()
+	p.now = func() time.Time { return now }
+
+	// The warm dial "takes" 45 simulated seconds before the conn parks.
+	p.Fill()
+	if got := p.Idle(srv.addr()); got != 1 {
+		t.Fatalf("idle = %d after fill, want 1", got)
+	}
+
+	// 30 s of idleness: well under the 60 s TTL, even though 75 s have
+	// passed since the dial started. Dial-start-age expiry would wrongly
+	// retire the conn here.
+	adv(30 * time.Second)
+	conn, ok := p.Get(srv.addr())
+	if !ok {
+		t.Fatal("checkout expired a conn idle only 30s (TTL 60s) — expiry counted dial time")
+	}
+	_ = conn.Close()
+
+	// Refill and idle past the TTL: now checkout must retire it.
+	p.Fill()
+	adv(61 * time.Second)
+	if _, ok := p.Get(srv.addr()); ok {
+		t.Fatal("checkout handed out a conn idle past IdleTTL")
+	}
+	if got := counter(reg, "cronets_connpool_expired_total"); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+
+	// The filler's own pass expires by the same park-time rule.
+	p.Fill() // parks a fresh conn (deficit of 1)
+	adv(61 * time.Second)
+	p.Fill()
+	if got := counter(reg, "cronets_connpool_expired_total"); got != 2 {
+		t.Errorf("expired = %d after fill-pass TTL sweep, want 2", got)
 	}
 }

@@ -26,8 +26,13 @@ import (
 )
 
 // Ranker supplies the control-plane route ranking a Gateway follows. It
-// is satisfied by *pathmon.Monitor; tests substitute scripted rankings
-// to exercise the dial fallback ladder without sockets.
+// is satisfied by *pathmon.Monitor and by *pathmon.View, so the routing
+// objective is chosen per listener: hand a bulk listener
+// mon.View(pathmon.ObjectiveThroughput) and an interactive listener the
+// monitor itself, and both share one probe budget while committing to
+// their own best routes (the warm pool follows whichever ranking its
+// gateway was given). Tests substitute scripted rankings to exercise the
+// dial fallback ladder without sockets.
 type Ranker interface {
 	// Best returns the hysteresis-committed best route (false before the
 	// first usable round).
@@ -47,8 +52,10 @@ type Config struct {
 	// DirectAddr is the client's direct route to Dest (defaults to Dest;
 	// emulations point it at a netem proxy).
 	DirectAddr string
-	// Monitor supplies route rankings (usually the *pathmon.Monitor).
-	// With a nil Monitor the gateway always dials direct.
+	// Monitor supplies route rankings: usually the *pathmon.Monitor
+	// itself, or one objective's *pathmon.View of it when several
+	// listeners share a monitor. With a nil Monitor the gateway always
+	// dials direct.
 	Monitor Ranker
 	// DialTimeout bounds each path attempt (default 10 s).
 	DialTimeout time.Duration

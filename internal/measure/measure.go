@@ -184,6 +184,34 @@ func ThroughputContext(ctx context.Context, conn net.Conn, duration time.Duratio
 	return res, ctxError(ctx, err)
 }
 
+// ErrTruncatedBurst reports a throughput burst that could not sustain its
+// full configured window — the deadline expired or the path failed
+// mid-upload. A truncated window measures goodput over a shorter interval
+// than configured (a systematic underestimate on slow-start-dominated
+// windows), so it is a failure, never a sample.
+var ErrTruncatedBurst = errors.New("measure: throughput burst truncated")
+
+// ThroughputBurst runs one complete sink-mode throughput burst over an
+// established connection to a measure.Server: the sink preamble, then a
+// timed upload of exactly duration under the context's hard bound. Any
+// upload error — including the context deadline expiring mid-window — is
+// reported as ErrTruncatedBurst wrapping the cause; callers get a full
+// window's Mbps or an error, never a number measured over less than
+// duration.
+func ThroughputBurst(ctx context.Context, conn net.Conn, duration time.Duration, chunkBytes int) (Result, error) {
+	if _, err := SinkClient(conn); err != nil {
+		return Result{}, err
+	}
+	res, err := ThroughputContext(ctx, conn, duration, chunkBytes)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %w", ErrTruncatedBurst, err)
+	}
+	if res.Elapsed < duration {
+		return Result{}, fmt.Errorf("%w: measured %v of %v window", ErrTruncatedBurst, res.Elapsed, duration)
+	}
+	return res, nil
+}
+
 // SinkClient prefixes the sink-mode byte on a connection to a
 // measure.Server, returning the same connection ready for Throughput.
 func SinkClient(conn net.Conn) (net.Conn, error) {

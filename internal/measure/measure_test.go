@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -114,5 +116,46 @@ func TestUnknownModeIgnored(t *testing.T) {
 	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if _, err := conn.Read(make([]byte, 1)); err == nil {
 		t.Error("unknown mode should close the connection")
+	}
+}
+
+// TestThroughputBurstFullWindow: a healthy path yields a full-duration
+// measurement.
+func TestThroughputBurstFullWindow(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := ThroughputBurst(ctx, conn, 150*time.Millisecond, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 150*time.Millisecond || res.Mbps <= 0 {
+		t.Errorf("burst result = %+v, want a full >=150ms window with positive Mbps", res)
+	}
+}
+
+// TestThroughputBurstTruncatedIsError: a deadline that expires inside the
+// measurement window must yield ErrTruncatedBurst, never an Mbps number
+// measured over a shorter interval than configured.
+func TestThroughputBurstTruncatedIsError(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := ThroughputBurst(ctx, conn, 10*time.Second, 64<<10)
+	if !errors.Is(err, ErrTruncatedBurst) {
+		t.Fatalf("err = %v (result %+v), want ErrTruncatedBurst", err, res)
+	}
+	if res.Mbps != 0 {
+		t.Errorf("truncated burst still reported Mbps = %v", res.Mbps)
 	}
 }

@@ -66,6 +66,9 @@ const (
 	// EventChainDial is a gateway dial riding a multi-hop chain (detail
 	// carries the hop list).
 	EventChainDial
+	// EventBurst is a pathmon throughput-burst outcome (detail carries
+	// the route and the Mbps result or failure cause).
+	EventBurst
 )
 
 // String returns the event type's wire name.
@@ -111,6 +114,8 @@ func (t EventType) String() string {
 		return "chain-candidates"
 	case EventChainDial:
 		return "chain-dial"
+	case EventBurst:
+		return "burst"
 	default:
 		return "unknown"
 	}
@@ -119,7 +124,7 @@ func (t EventType) String() string {
 // ParseEventType resolves a wire name back to its EventType (for the
 // /debug/events ?type= filter). ok is false for unknown names.
 func ParseEventType(name string) (EventType, bool) {
-	for t := EventConnect; t <= EventChainDial; t++ {
+	for t := EventConnect; t <= EventBurst; t++ {
 		if t.String() == name {
 			return t, true
 		}

@@ -1,0 +1,72 @@
+package pathmon
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"cronets/internal/measure"
+	"cronets/internal/relay"
+)
+
+// benchMonitor builds a monitor over a live loopback topology (one
+// measure server, one relay) so ProbeRound exercises real sockets.
+func benchMonitor(b *testing.B, burst time.Duration) *Monitor {
+	b.Helper()
+	destLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dest := measure.NewServer(destLn)
+	go dest.Serve() //nolint:errcheck
+	b.Cleanup(func() { _ = dest.Close() })
+
+	relayLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rl := relay.New(relayLn, relay.Config{})
+	go rl.Serve() //nolint:errcheck
+	b.Cleanup(func() { _ = rl.Close() })
+
+	m, err := New(Config{
+		Dest:          destLn.Addr().String(),
+		Fleet:         []string{relayLn.Addr().String()},
+		ProbeTimeout:  2 * time.Second,
+		ProbeCount:    2,
+		BurstDuration: burst,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = m.Close() })
+	return m
+}
+
+// BenchmarkProbeRound prices one full probe round (direct + one relay,
+// 2 echo probes each) with bursts off, and the same round paying its
+// burst windows — the control plane's recurring cost, and the overhead
+// the burst cadence adds to it. Bursts run concurrently with the other
+// routes' probes, so the with-burst round costs roughly one burst window
+// plus setup, not one window per route.
+func BenchmarkProbeRound(b *testing.B) {
+	b.Run("rtt-only", func(b *testing.B) {
+		m := benchMonitor(b, 0)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ProbeRound(ctx)
+		}
+	})
+	b.Run("with-burst-10ms", func(b *testing.B) {
+		m := benchMonitor(b, 10*time.Millisecond)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ProbeRound(ctx)
+		}
+	})
+}

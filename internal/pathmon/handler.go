@@ -28,8 +28,13 @@ type PathRow struct {
 	// path is down (the in-memory score is +Inf, which JSON cannot
 	// carry).
 	ScoreMs *float64 `json:"score_ms"`
-	// Mbps is the latest throughput-burst result (absent if none).
+	// Mbps is the smoothed throughput estimate after staleness decay
+	// (absent if no burst has completed, or the estimate fully aged out).
 	Mbps float64 `json:"mbps,omitempty"`
+	// LastBurstAgeMs is how long ago the throughput estimate last
+	// absorbed a completed burst; null if never — with Mbps it answers
+	// "is this bandwidth number current?".
+	LastBurstAgeMs *float64 `json:"last_burst_age_ms"`
 	// Samples and Fails mirror the estimate's history: successful
 	// rounds absorbed and the current consecutive-failure streak.
 	Samples int `json:"samples"`
@@ -67,6 +72,10 @@ func (m *Monitor) PathsHandler() http.Handler {
 			if !st.LastSample.IsZero() {
 				age := ms(now.Sub(st.LastSample))
 				row.LastProbeAgeMs = &age
+			}
+			if !st.LastBurst.IsZero() {
+				age := ms(now.Sub(st.LastBurst))
+				row.LastBurstAgeMs = &age
 			}
 			rows = append(rows, row)
 		}

@@ -17,11 +17,12 @@ func TestPathsHandlerJSON(t *testing.T) {
 		FailThreshold: 1,
 	})
 	now := time.Unix(1000, 0)
-	round(m, now, map[Route]time.Duration{
+	feedRound(m, now, map[Route]time.Duration{
 		Direct: 10 * time.Millisecond,
 		a:      30 * time.Millisecond,
 		b:      -1, // down: its score is +Inf and must render as null
-	})
+	}, map[Route]float64{a: 42})
+	m.now = func() time.Time { return now }
 
 	rec := httptest.NewRecorder()
 	m.PathsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/paths", nil))
@@ -56,5 +57,11 @@ func TestPathsHandlerJSON(t *testing.T) {
 	relayRow, ok := byPath[a.String()]
 	if !ok || relayRow.Kind != "relay" || len(relayRow.Hops) != 1 {
 		t.Errorf("relay row = %+v (present=%v), want kind=relay with 1 hop", relayRow, ok)
+	}
+	if relayRow.Mbps != 42 || relayRow.LastBurstAgeMs == nil {
+		t.Errorf("relay row = %+v, want mbps=42 with a last-burst age", relayRow)
+	}
+	if direct.LastBurstAgeMs != nil {
+		t.Errorf("direct row advertises a burst age without any burst: %+v", direct)
 	}
 }

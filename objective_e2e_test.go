@@ -1,0 +1,219 @@
+package cronets_test
+
+// Objective-routing end-to-end test — the acceptance scenario for
+// throughput-aware route selection: a topology where the lowest-RTT path
+// is rate-limited and a higher-RTT relay path has ~10x the bandwidth.
+// One pathmon monitor serves two gateways through per-objective views:
+// the latency gateway must commit the thin fast path, the throughput
+// gateway the fat slow one, both carrying byte-identical transfers. Then
+// the fat path thins out mid-run and the throughput view must switch —
+// visible in /metrics and /debug/events — while the latency view never
+// moves. Finally, Monitor.Close must return in milliseconds with the
+// probe/burst machinery live.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cronets/internal/gateway"
+	"cronets/internal/measure"
+	"cronets/internal/netem"
+	"cronets/internal/obs"
+	"cronets/internal/pathmon"
+	"cronets/internal/relay"
+)
+
+func TestObjectiveRoutingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netem e2e is skipped in -short mode")
+	}
+	reg := obs.NewRegistry()
+
+	// Destination: a measure server (probe endpoint, burst sink, and the
+	// fronted application in one).
+	destLn := mustListenCP(t)
+	dest := measure.NewServer(destLn)
+	go dest.Serve() //nolint:errcheck
+	defer dest.Close()
+	destAddr := destLn.Addr().String()
+
+	// Direct path: 2 ms one-way but the upload direction is rate-limited
+	// to ~2 Mbps — the classic congested/policed default route.
+	directLn := mustListenCP(t)
+	directLink := netem.New(directLn, destAddr, netem.Config{
+		Up:   netem.Impairment{Latency: 2 * time.Millisecond, RateMbps: 2},
+		Down: netem.Impairment{Latency: 2 * time.Millisecond},
+		Obs:  reg,
+	})
+	go directLink.Serve() //nolint:errcheck
+	defer directLink.Close()
+
+	// Relay path: 12 ms one-way — clearly worse RTT — but unthrottled,
+	// an order of magnitude more bandwidth than the direct path.
+	relayLn := mustListenCP(t)
+	rl := relay.New(relayLn, relay.Config{})
+	go rl.Serve() //nolint:errcheck
+	defer rl.Close()
+	relayLinkLn := mustListenCP(t)
+	relayLink := netem.New(relayLinkLn, relayLn.Addr().String(), netem.Config{
+		Up:   netem.Impairment{Latency: 12 * time.Millisecond},
+		Down: netem.Impairment{Latency: 12 * time.Millisecond},
+		Obs:  reg,
+	})
+	go relayLink.Serve() //nolint:errcheck
+	defer relayLink.Close()
+	relayRoute := pathmon.MakeRoute(relayLink.Addr().String())
+
+	const probeInterval = 300 * time.Millisecond
+	mon, err := pathmon.New(pathmon.Config{
+		Dest:          destAddr,
+		DirectAddr:    directLink.Addr().String(),
+		Fleet:         []string{relayLink.Addr().String()},
+		Interval:      probeInterval,
+		ProbeTimeout:  2 * time.Second,
+		ProbeCount:    2,
+		Alpha:         0.5,
+		BurstDuration: 400 * time.Millisecond,
+		BurstEvery:    1,
+		SwitchMargin:  0.2,
+		SwitchRounds:  2,
+		Obs:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	tpView := mon.View(pathmon.ObjectiveThroughput)
+
+	// Two listeners, one monitor: the interactive gateway follows the
+	// monitor's (latency) ranking, the bulk gateway the throughput view.
+	gwLat, err := gateway.New(gateway.Config{
+		Dest:       destAddr,
+		DirectAddr: directLink.Addr().String(),
+		Monitor:    mon,
+		Obs:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwLat.Close()
+	gwTp, err := gateway.New(gateway.Config{
+		Dest:       destAddr,
+		DirectAddr: directLink.Addr().String(),
+		Monitor:    tpView,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwTp.Close()
+
+	metricsSrv := httptest.NewServer(reg.MetricsHandler())
+	defer metricsSrv.Close()
+	eventsSrv := httptest.NewServer(reg.EventsHandler())
+	defer eventsSrv.Close()
+
+	mon.Start()
+
+	// Phase 1: same probe data, divergent commits. The latency view must
+	// hold the 2 ms direct path; the throughput view must commit the fat
+	// relay once the bursts have measured both.
+	waitFor(t, 20*time.Second, "divergent objective commits", func() bool {
+		latBest, latOK := mon.Best()
+		tpBest, tpOK := tpView.Best()
+		return latOK && tpOK && latBest.IsDirect() && tpBest == relayRoute
+	})
+
+	// Both gateways carry a byte-identical transfer over their own route.
+	rnd := rand.New(rand.NewSource(10))
+	payload := make([]byte, 64<<10) // 4096 echo frames of 16 bytes
+	rnd.Read(payload)
+	transfer := func(gw *gateway.Gateway, name string) pathmon.Route {
+		conn, route, err := gw.Dial(context.Background())
+		if err != nil {
+			t.Fatalf("%s dial: %v", name, err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte{'E'}); err != nil { // measure echo mode
+			t.Fatalf("%s echo preamble: %v", name, err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, err := conn.Write(payload)
+			errc <- err
+		}()
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			t.Fatalf("%s reading echoed payload: %v", name, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("%s writing payload: %v", name, err)
+		}
+		if !bytes.Equal(payload, got) {
+			t.Fatalf("%s payload corrupted in flight", name)
+		}
+		return route
+	}
+	if route := transfer(gwLat, "latency gateway"); !route.IsDirect() {
+		t.Fatalf("latency gateway dialed %v, want direct", route)
+	}
+	if route := transfer(gwTp, "throughput gateway"); route != relayRoute {
+		t.Fatalf("throughput gateway dialed %v, want %v", route, relayRoute)
+	}
+
+	// The burst machinery is visible to a scraper.
+	metrics := scrape(t, metricsSrv, "/")
+	if !metricsCounterAtLeast(metrics, "cronets_pathmon_bursts_total", 2) {
+		t.Fatalf("cronets_pathmon_bursts_total missing or < 2 in /metrics:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "cronets_pathmon_route_mbps") {
+		t.Fatalf("cronets_pathmon_route_mbps missing from /metrics:\n%s", metrics)
+	}
+
+	// Phase 2: the fat path thins out (policer kicks in at ~1 Mbps) and
+	// the direct path's limit lifts. The throughput view must switch to
+	// direct through the usual hysteresis; the latency view never moved,
+	// so its route table stays committed to direct throughout.
+	relayLink.SetImpairment(
+		netem.Impairment{Latency: 12 * time.Millisecond, RateMbps: 1},
+		netem.Impairment{Latency: 12 * time.Millisecond},
+	)
+	directLink.SetImpairment(
+		netem.Impairment{Latency: 2 * time.Millisecond},
+		netem.Impairment{Latency: 2 * time.Millisecond},
+	)
+	waitFor(t, 30*time.Second, "throughput view switching to the new fat path", func() bool {
+		tpBest, ok := tpView.Best()
+		return ok && tpBest.IsDirect()
+	})
+	if latBest, _ := mon.Best(); !latBest.IsDirect() {
+		t.Fatalf("latency view moved to %v; it had no reason to leave direct", latBest)
+	}
+
+	metrics = scrape(t, metricsSrv, "/")
+	if !metricsCounterAtLeast(metrics, "cronets_pathmon_switches_total", 1) {
+		t.Fatalf("cronets_pathmon_switches_total missing or zero after the throughput switch:\n%s", metrics)
+	}
+	events := scrape(t, eventsSrv, "/")
+	if !strings.Contains(events, `"burst"`) {
+		t.Fatalf("no burst flow events in /debug/events:\n%s", events)
+	}
+	if !strings.Contains(events, `"path-switch"`) || !strings.Contains(events, "[throughput]") {
+		t.Fatalf("no throughput-view path-switch event in /debug/events:\n%s", events)
+	}
+
+	// Close must come back in milliseconds even with the probe loop and
+	// burst windows live (the monitor-lifetime context cancels them).
+	start := time.Now()
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Monitor.Close took %v with probes in flight, want < 100ms", elapsed)
+	}
+}
